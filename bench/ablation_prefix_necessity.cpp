@@ -1,0 +1,89 @@
+// Ablation: how much detection is lost when the Theorem-4 prefix is
+// omitted or shortened.
+//
+// For each prepared circuit pair with a nonzero prefix requirement --
+// plus the worked examples, which always need one -- fault simulate the
+// original circuit's test set on the retimed circuit with prefixes of
+// length 0, 1, ..., required, required+1 and report the undetected
+// counts.  Detection must be monotone in the prefix and saturate at
+// the required length.
+#include <cstdio>
+
+#include "core/preserve.h"
+#include "core/testset.h"
+#include "experiments.h"
+#include "fault/collapse.h"
+#include "fault/correspondence.h"
+#include "faultsim/proofs.h"
+#include "faultsim/serial.h"
+#include "tests/paper_circuits.h"
+
+int main() {
+  using namespace retest;
+  using sim::FromString;
+
+  std::printf("Ablation: prefix necessity\n\n");
+
+  {
+    // The Observation-4 exhibit: one fault that needs the prefix.
+    const auto k = retest::testing::MakeObs4K();
+    const auto pair = retest::testing::MakeObs4Pair();
+    const auto correspondence =
+        fault::BuildCorrespondence(pair.build, pair.retiming, pair.applied);
+    int pin = -1;
+    const auto& g7 = k.node(k.Find("g7"));
+    for (size_t p = 0; p < g7.fanin.size(); ++p) {
+      if (g7.fanin[p] == k.Find("q0")) pin = static_cast<int>(p);
+    }
+    const fault::Site site{k.Find("g7"), pin};
+    const auto& mapped = correspondence.to_retimed.at(site);
+    const sim::InputSequence test{FromString("110"), FromString("000")};
+    std::printf("obs4 exhibit (required prefix %d):\n",
+                core::PrefixLength(pair.build.graph, pair.retiming));
+    for (int prefix = 0; prefix <= 2; ++prefix) {
+      int detected = 0;
+      for (const auto& mapped_site : mapped) {
+        const fault::Fault fp{mapped_site, true};
+        sim::InputSequence prefixed =
+            core::MakePrefix(prefix, 3, core::PrefixStyle::kZeros);
+        prefixed.insert(prefixed.end(), test.begin(), test.end());
+        detected += faultsim::SimulateSerial(pair.applied.circuit,
+                                             std::span(&fp, 1), prefixed)[0]
+                        .detected
+                        ? 1
+                        : 0;
+      }
+      std::printf("  prefix %d: %d/%zu corresponding faults detected\n",
+                  prefix, detected, mapped.size());
+    }
+    std::printf("\n");
+  }
+
+  // Benchmark circuits: sweep prefix length on the derived test sets.
+  const long budget = bench::BudgetMs(6'000);
+  const int indices[] = {0, 3, 8};
+  for (int index : indices) {
+    const auto& variant = bench::Table2Variants()[static_cast<size_t>(index)];
+    const bench::Prepared prepared = bench::PrepareVariant(variant);
+    const auto atpg_result =
+        atpg::RunAtpg(prepared.original, bench::TestSetAtpgOptions(budget));
+    core::TestSet test_set;
+    test_set.tests = atpg_result.tests;
+    const int required =
+        core::PrefixLength(prepared.build.graph, prepared.retiming);
+    const auto collapsed = fault::Collapse(prepared.retimed);
+    std::printf("%s (required prefix %d, %zu collapsed faults):\n",
+                prepared.retimed.name().c_str(), required,
+                collapsed.representatives.size());
+    for (int prefix = 0; prefix <= required + 1; ++prefix) {
+      const auto derived = core::DeriveRetimedTestSet(
+          test_set, prefix, prepared.original.num_inputs());
+      const auto sim_result = faultsim::SimulateProofs(
+          prepared.retimed, collapsed.representatives, derived.Concatenated());
+      std::printf("  prefix %d: %d undetected\n", prefix,
+                  static_cast<int>(collapsed.representatives.size()) -
+                      sim_result.num_detected());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "experiments.h"
+
+#include <cstdlib>
+
+#include "fsm/benchmarks.h"
+#include "retime/leiserson_saxe.h"
+#include "retime/minreg.h"
+
+namespace retest::bench {
+
+using synth::EncodingStyle;
+using synth::ScriptStyle;
+
+const std::vector<Variant>& Table2Variants() {
+  static const std::vector<Variant> kVariants = {
+      {"dk16", EncodingStyle::kInputDominant, ScriptStyle::kDelay},
+      {"pma", EncodingStyle::kOutputDominant, ScriptStyle::kDelay},
+      {"s510", EncodingStyle::kCombined, ScriptStyle::kDelay},
+      {"s510", EncodingStyle::kCombined, ScriptStyle::kRugged},
+      {"s510", EncodingStyle::kInputDominant, ScriptStyle::kDelay},
+      {"s510", EncodingStyle::kInputDominant, ScriptStyle::kRugged},
+      {"s510", EncodingStyle::kOutputDominant, ScriptStyle::kRugged},
+      {"s820", EncodingStyle::kCombined, ScriptStyle::kDelay},
+      {"s820", EncodingStyle::kCombined, ScriptStyle::kRugged},
+      {"s820", EncodingStyle::kInputDominant, ScriptStyle::kRugged},
+      {"s820", EncodingStyle::kOutputDominant, ScriptStyle::kDelay},
+      {"s820", EncodingStyle::kOutputDominant, ScriptStyle::kRugged},
+      {"s832", EncodingStyle::kCombined, ScriptStyle::kRugged},
+      {"s832", EncodingStyle::kOutputDominant, ScriptStyle::kRugged},
+      {"scf", EncodingStyle::kInputDominant, ScriptStyle::kDelay},
+      {"scf", EncodingStyle::kOutputDominant, ScriptStyle::kDelay},
+  };
+  return kVariants;
+}
+
+Prepared PrepareVariant(const Variant& variant) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm(variant.fsm);
+  synth::SynthesisOptions options;
+  options.encoding = variant.encoding;
+  options.script = variant.script;
+  for (const auto& info : fsm::PaperFsmTable()) {
+    if (std::string(info.name) == variant.fsm) {
+      options.explicit_reset = info.explicit_reset;
+    }
+  }
+  Prepared prepared;
+  prepared.original = synth::Synthesize(machine, options);
+  prepared.build = retime::BuildGraph(prepared.original);
+  const auto min_period = retime::MinimizePeriod(prepared.build.graph);
+  const auto min_reg = retime::MinimizeRegisters(
+      prepared.build.graph, min_period.period, &min_period.retiming);
+  prepared.retiming = min_reg.retiming;
+  prepared.period_before = min_period.original_period;
+  prepared.period_after =
+      prepared.build.graph.ClockPeriod(prepared.retiming.lags);
+  prepared.moves = retime::CountMoves(prepared.build.graph, prepared.retiming);
+  auto applied = retime::ApplyRetiming(prepared.original, prepared.build,
+                                       prepared.retiming);
+  prepared.retimed = std::move(applied.circuit);
+  return prepared;
+}
+
+bool FullMode() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+long BudgetMs(long base_ms) { return FullMode() ? base_ms * 10 : base_ms; }
+
+atpg::AtpgOptions Table2AtpgOptions(long budget_ms) {
+  atpg::AtpgOptions options;
+  options.style = atpg::AtpgStyle::kJustification;
+  options.random_rounds = 0;  // HITEC is purely deterministic
+  options.backtracks_per_fault = 500;
+  options.justify_backtracks = 3000;
+  options.time_budget_ms = budget_ms;
+  return options;
+}
+
+atpg::AtpgOptions TestSetAtpgOptions(long budget_ms) {
+  atpg::AtpgOptions options;
+  options.style = atpg::AtpgStyle::kForwardIla;
+  options.random_rounds = 96;
+  options.time_budget_ms = budget_ms;
+  return options;
+}
+
+}  // namespace retest::bench

@@ -1,0 +1,71 @@
+// Shared harness for the paper-reproduction benches: the sixteen
+// Table II circuit variants, the synthesis + performance-retiming
+// pipeline that produces each original/retimed pair, and budget knobs.
+//
+// Budgets scale with REPRO_FULL=1 (x10) for closer-to-paper runs; the
+// defaults keep the whole bench suite runnable in minutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "netlist/circuit.h"
+#include "retime/apply.h"
+#include "retime/from_netlist.h"
+#include "retime/graph.h"
+#include "retime/moves.h"
+#include "synth/synthesize.h"
+
+namespace retest::bench {
+
+/// One Table II row: which FSM, encoding and script produced it.
+///
+/// Note on prefixes: the paper's pma.jo.sd / s510.jc.sd / scf.jo.sd
+/// retimings contained one forward move (prefix length 1); our
+/// register-minimal retimings of the stand-in netlists happen to be
+/// realizable with backward moves only (prefix 0 on every row, like
+/// the paper's other 13 rows).  The prefix machinery itself is
+/// exercised by the fig1/fig3/fig5 benches, the prefix ablation and
+/// the Theorem-4 property tests.
+struct Variant {
+  const char* fsm;
+  synth::EncodingStyle encoding;
+  synth::ScriptStyle script;
+};
+
+/// The sixteen circuit variants of Tables II/III, in paper order.
+const std::vector<Variant>& Table2Variants();
+
+/// An original/retimed circuit pair prepared the way the paper's
+/// experiments need it: synthesize, then min-period retiming (FEAS)
+/// with a register-minimization post-pass subject to the achieved
+/// period.
+struct Prepared {
+  netlist::Circuit original;
+  netlist::Circuit retimed;
+  retime::BuildResult build;      ///< Graph of the original.
+  retime::Retiming retiming;      ///< original -> retimed lags.
+  retime::MoveCounts moves;
+  int period_before = 0;
+  int period_after = 0;
+};
+
+Prepared PrepareVariant(const Variant& variant);
+
+/// True when REPRO_FULL=1 is set (longer, closer-to-paper budgets).
+bool FullMode();
+
+/// Milliseconds scaled by FullMode (x10).
+long BudgetMs(long base_ms);
+
+/// The ATPG configuration used for Table II: deterministic
+/// HITEC-style justification search (no random phase, no learned
+/// cache), which is the architecture whose cost the paper measures.
+atpg::AtpgOptions Table2AtpgOptions(long budget_ms);
+
+/// Fast high-coverage configuration used to *generate* test sets for
+/// Table III / Fig. 6 (random phase + forward-ILA deterministic).
+atpg::AtpgOptions TestSetAtpgOptions(long budget_ms);
+
+}  // namespace retest::bench

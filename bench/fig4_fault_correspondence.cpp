@@ -1,0 +1,44 @@
+// Demonstrates Fig. 4: the edge-segment fault correspondence between a
+// circuit and its retimed version, including line splits (a register
+// placed on a line) and merges (registers removed between lines).
+#include <cstdio>
+
+#include "fault/correspondence.h"
+#include "tests/paper_circuits.h"
+
+int main() {
+  using namespace retest;
+  const auto pair = retest::testing::MakeFig5Pair();
+  const auto n1 = retest::testing::MakeFig5N1();
+  const auto& n2 = pair.applied.circuit;
+  const auto correspondence =
+      fault::BuildCorrespondence(pair.build, pair.retiming, pair.applied);
+
+  std::printf("Fig. 4: fault-site correspondence for the Fig. 5 pair\n");
+  std::printf("(N1 -> N2, a forward move across gate g1)\n\n");
+
+  std::printf("N1 site -> corresponding N2 sites:\n");
+  for (const auto& [site, others] : correspondence.to_retimed) {
+    std::printf("  %-16s -> ", fault::ToString(n1, site).c_str());
+    for (size_t i = 0; i < others.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  fault::ToString(n2, others[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nN2 site -> corresponding N1 sites:\n");
+  for (const auto& [site, others] : correspondence.to_original) {
+    std::printf("  %-16s -> ", fault::ToString(n2, site).c_str());
+    for (size_t i = 0; i < others.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  fault::ToString(n1, others[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nnote the split: line g1->g2 of N1 corresponds to BOTH new lines\n"
+      "g1->r and r->g2 of N2 (a register was placed on it), while the\n"
+      "removed input registers merge the lines i1->q1 and q1->g1 of N1\n"
+      "onto the single line i1->g1 of N2.\n");
+  return 0;
+}

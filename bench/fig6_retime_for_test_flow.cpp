@@ -1,0 +1,62 @@
+// Reproduces Fig. 6: the retime-for-testability ATPG flow.
+//
+// Direct structural ATPG on a performance-retimed circuit is slow and
+// weak; instead, retime the circuit to minimize registers, run ATPG on
+// that easy version, and map the test set back by prefixing the
+// pre-determined number of arbitrary vectors.  Compare the direct run
+// against the flow on CPU and on the fault coverage achieved *on the
+// hard circuit*.
+#include <cstdio>
+
+#include "core/flow.h"
+#include "experiments.h"
+
+int main() {
+  using namespace retest;
+  const long direct_budget = bench::BudgetMs(20'000);
+  const long easy_budget = bench::BudgetMs(8'000);
+
+  std::printf("Fig. 6: retime-for-testability flow\n");
+  std::printf("(direct budget %ld ms, flow ATPG budget %ld ms%s)\n\n",
+              direct_budget, easy_budget,
+              bench::FullMode() ? " [REPRO_FULL]" : "");
+  std::printf("%-12s | %19s | %31s | %6s\n", "", "direct ATPG on hard",
+              "flow: ATPG on easy + prefix map", "");
+  std::printf("%-12s | %6s %6s %6s | %5s %6s %8s %8s %6s | %6s\n", "Circuit",
+              "%FC", "%FE", "CPUms", "#DFF", "prefix", "ATPGms", "fsimms",
+              "%FC", "ratio");
+
+  // The flow is demonstrated on a subset (one circuit per FSM family)
+  // to keep the default run short.
+  const int indices[] = {0, 1, 3, 8, 12, 14};
+  for (int index : indices) {
+    const auto& variant = bench::Table2Variants()[static_cast<size_t>(index)];
+    const bench::Prepared prepared = bench::PrepareVariant(variant);
+
+    // Direct HITEC-style ATPG on the hard (retimed) circuit.
+    const auto direct = atpg::RunAtpg(
+        prepared.retimed, bench::Table2AtpgOptions(direct_budget));
+
+    // The paper's flow: min-register retiming, ATPG there, prefix map,
+    // fault simulation on the hard circuit.
+    core::RetimeForTestOptions flow_options;
+    flow_options.atpg = bench::TestSetAtpgOptions(easy_budget);
+    const auto flow = core::RetimeForTest(prepared.retimed, flow_options);
+
+    const long flow_ms = flow.atpg_result.elapsed_ms + flow.fault_sim_ms;
+    std::printf("%-12s | %6.1f %6.1f %6ld | %5d %6d %8ld %8ld %6.1f | %5.1fx\n",
+                prepared.retimed.name().c_str(), direct.FaultCoverage(),
+                direct.FaultEfficiency(), direct.elapsed_ms, flow.easy_dffs,
+                flow.prefix_length, flow.atpg_result.elapsed_ms,
+                flow.fault_sim_ms, flow.HardCoverage(),
+                flow_ms > 0 ? static_cast<double>(direct.elapsed_ms) /
+                                  static_cast<double>(flow_ms)
+                            : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nThe flow reaches far higher coverage on the hard circuit at a\n"
+      "fraction of the direct ATPG cost (the paper's s510.jo.sr story:\n"
+      "3822s + fault simulation instead of 1,000,000s for 56.5%%).\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Table I: characteristics of the finite-state machines
+// used to synthesize the experiment circuits.
+#include <cstdio>
+
+#include "fsm/benchmarks.h"
+
+int main() {
+  using retest::fsm::MakeBenchmarkFsm;
+  using retest::fsm::PaperFsmTable;
+
+  std::printf("Table I: characteristics of finite-state machines\n");
+  std::printf("(paper values in parentheses; our stand-ins match the\n");
+  std::printf(" interface by construction, see DESIGN.md section 4)\n\n");
+  std::printf("%-6s %6s %6s %8s %8s\n", "FSM", "PI", "PO", "States",
+              "#Cubes");
+  for (const auto& info : PaperFsmTable()) {
+    const auto machine = MakeBenchmarkFsm(info.name);
+    std::printf("%-6s %3d(%d) %3d(%d) %5d(%d) %8zu\n", info.name,
+                machine.num_inputs, info.num_inputs, machine.num_outputs,
+                info.num_outputs, machine.num_states(), info.num_states,
+                machine.transitions.size());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Table II: test pattern generation on the original versus
+// the performance-retimed circuits.
+//
+// The ATPG is the HITEC-style deterministic justification engine (see
+// DESIGN.md).  Absolute CPU numbers differ from the paper's DECstation
+// seconds; the columns to compare are the *shape*: retiming inflates
+// #DFF, lowers %FC/%FE, and blows up the CPU ratio.  Budgets are
+// scaled down by default; set REPRO_FULL=1 for 10x budgets.
+#include <cmath>
+#include <cstdio>
+
+#include "experiments.h"
+
+int main() {
+  using namespace retest;
+  const long original_budget = bench::BudgetMs(10'000);
+  const long retimed_budget = bench::BudgetMs(40'000);
+
+  std::printf("Table II: test pattern generation results\n");
+  std::printf("(CPU in ms; budgets: original %ld ms, retimed %ld ms%s)\n\n",
+              original_budget, retimed_budget,
+              bench::FullMode() ? " [REPRO_FULL]" : "");
+  std::printf("%-12s | %5s %6s %6s %9s | %5s %6s %6s %9s | %9s\n", "Circuit",
+              "#DFF", "%FC", "%FE", "#CPU", "#DFF", "%FC", "%FE", "#CPU",
+              "CPU Ratio");
+
+  double ratio_product = 1.0;
+  int rows = 0;
+  for (const auto& variant : bench::Table2Variants()) {
+    const bench::Prepared prepared = bench::PrepareVariant(variant);
+    const auto original_result = atpg::RunAtpg(
+        prepared.original, bench::Table2AtpgOptions(original_budget));
+    const auto retimed_result = atpg::RunAtpg(
+        prepared.retimed, bench::Table2AtpgOptions(retimed_budget));
+    const double ratio =
+        original_result.elapsed_ms > 0
+            ? static_cast<double>(retimed_result.elapsed_ms) /
+                  static_cast<double>(original_result.elapsed_ms)
+            : 0.0;
+    ratio_product *= ratio > 0 ? ratio : 1.0;
+    ++rows;
+    std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
+                prepared.original.name().c_str(), prepared.original.num_dffs(),
+                original_result.FaultCoverage(),
+                original_result.FaultEfficiency(), original_result.elapsed_ms,
+                prepared.retimed.num_dffs(), retimed_result.FaultCoverage(),
+                retimed_result.FaultEfficiency(), retimed_result.elapsed_ms,
+                ratio);
+    std::fflush(stdout);
+  }
+  if (rows > 0) {
+    std::printf("\ngeometric-mean CPU ratio: %.1fx\n",
+                std::pow(ratio_product, 1.0 / rows));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table III: fault simulation of the test sets generated
+// for the original circuits, and of the derived (prefix-extended) test
+// sets on the corresponding retimed circuits.
+//
+// Theorem 4's procedure: the prefix length is the maximum number of
+// forward retiming moves across any node; most variants need none, and
+// the ones that do need only the computed handful of arbitrary
+// vectors.  The undetected-fault counts on the original and retimed
+// circuits should track each other closely (residual differences come
+// from line splits/merges changing the collapsed-fault counts).
+#include <cstdio>
+
+#include "core/preserve.h"
+#include "core/testset.h"
+#include "experiments.h"
+#include "fault/collapse.h"
+#include "faultsim/proofs.h"
+
+int main() {
+  using namespace retest;
+  const long budget = bench::BudgetMs(8'000);
+
+  std::printf("Table III: fault simulation results\n");
+  std::printf("(test sets from the fast ATPG config, budget %ld ms%s)\n\n",
+              budget, bench::FullMode() ? " [REPRO_FULL]" : "");
+  std::printf("%-12s | %7s %7s %6s | %7s %7s %6s | %6s\n", "Circuit",
+              "#Faults", "#UnDet", "%FC", "#Faults", "#UnDet", "%FC",
+              "Prefix");
+
+  for (const auto& variant : bench::Table2Variants()) {
+    const bench::Prepared prepared = bench::PrepareVariant(variant);
+
+    // Generate the original circuit's test set.
+    const auto atpg_result =
+        atpg::RunAtpg(prepared.original, bench::TestSetAtpgOptions(budget));
+    core::TestSet test_set;
+    test_set.tests = atpg_result.tests;
+
+    // Derive the retimed circuit's test set (Theorem 4).
+    const int prefix =
+        core::PrefixLength(prepared.build.graph, prepared.retiming);
+    const core::TestSet derived = core::DeriveRetimedTestSet(
+        test_set, prefix, prepared.original.num_inputs());
+
+    // Fault simulate both.
+    const auto original_faults = fault::Collapse(prepared.original);
+    const auto retimed_faults = fault::Collapse(prepared.retimed);
+    const auto original_sim = faultsim::SimulateProofs(
+        prepared.original, original_faults.representatives,
+        test_set.Concatenated());
+    const auto retimed_sim = faultsim::SimulateProofs(
+        prepared.retimed, retimed_faults.representatives,
+        derived.Concatenated());
+
+    const int original_total =
+        static_cast<int>(original_faults.representatives.size());
+    const int retimed_total =
+        static_cast<int>(retimed_faults.representatives.size());
+    const int original_undetected =
+        original_total - original_sim.num_detected();
+    const int retimed_undetected = retimed_total - retimed_sim.num_detected();
+    std::printf("%-12s | %7d %7d %6.1f | %7d %7d %6.1f | %6d\n",
+                prepared.original.name().c_str(), original_total,
+                original_undetected,
+                100.0 * original_sim.num_detected() / original_total,
+                retimed_total, retimed_undetected,
+                100.0 * retimed_sim.num_detected() / retimed_total, prefix);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// The sequential ATPG driver (HITEC stand-in).
+//
+// Pipeline: equivalence-collapse the fault universe; a random phase
+// (random sequences kept when they detect new faults, PROOFS-style
+// dropping); then deterministic PODEM per remaining fault over an
+// adaptively deepened unrolled model, with a combinational-redundancy
+// proof (1 frame, free + observed state) identifying untestable faults.
+// Every knob that the paper's Table II budget story depends on (time
+// budget, backtrack limits, frame caps) is explicit in AtpgOptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/collapse.h"
+#include "fault/fault.h"
+#include "sim/simulator.h"
+
+namespace retest::atpg {
+
+/// Deterministic-search architecture.
+enum class AtpgStyle {
+  /// Forward search over the unrolled array with a pinned unknown
+  /// initial state (tests are correct by construction).
+  kForwardIla,
+  /// HITEC-style: combinational test with a free state, then backward
+  /// state justification, then fault-simulation verification.  This is
+  /// the architecture whose cost explodes on retimed circuits
+  /// (Table II).
+  kJustification,
+};
+
+/// ATPG configuration.
+struct AtpgOptions {
+  std::uint64_t seed = 1;
+  AtpgStyle style = AtpgStyle::kForwardIla;
+  /// kJustification: backward-justification limits per fault.
+  int justify_max_depth = 24;
+  long justify_backtracks = 4000;
+  /// Random-phase: number of candidate sequences and their length in
+  /// multiples of (#DFF + 4); the phase ends early after
+  /// `random_patience` consecutive useless sequences.
+  int random_rounds = 64;
+  int random_length_factor = 4;
+  int random_patience = 8;
+  /// Deterministic-phase: unrolled depth starts at 1 and doubles up to
+  /// max_frames (0 = auto: 4 * #DFF + 8, clamped to [8, 64]).
+  int max_frames = 0;
+  long backtracks_per_fault = 2000;
+  long evaluations_per_fault = 5'000'000;
+  /// Overall wall-clock budget in milliseconds (the paper's #CPU role).
+  long time_budget_ms = 10'000;
+  /// Attempt the combinational-redundancy proof per aborted fault.
+  bool redundancy_check = true;
+};
+
+/// Per-fault outcome.
+enum class FaultStatus : std::uint8_t {
+  kDetected,
+  kRedundant,  ///< Proven untestable (counts toward fault efficiency).
+  kAborted,    ///< Search gave up within its limits.
+  kUntried,    ///< Time budget exhausted before this fault was tried.
+};
+
+/// Everything the Table II columns need.
+struct AtpgResult {
+  /// The collapsed fault list targeted (representatives).
+  std::vector<fault::Fault> faults;
+  std::vector<FaultStatus> status;
+  /// Generated tests, in generation order; the full test set is their
+  /// concatenation.
+  std::vector<sim::InputSequence> tests;
+  long evaluations = 0;  ///< Deterministic work measure.
+  long elapsed_ms = 0;   ///< Wall clock (#CPU column analogue).
+
+  int Count(FaultStatus wanted) const;
+  /// %FC: detected / total.
+  double FaultCoverage() const;
+  /// %FE: (detected + redundant) / total.
+  double FaultEfficiency() const;
+  /// All test vectors back to back (the stream the paper fault
+  /// simulates).
+  sim::InputSequence ConcatenatedTests() const;
+};
+
+/// Runs the ATPG on a circuit.
+AtpgResult RunAtpg(const netlist::Circuit& circuit,
+                   const AtpgOptions& options = {});
+
+}  // namespace retest::atpg

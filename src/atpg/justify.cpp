@@ -1,0 +1,442 @@
+#include "atpg/justify.h"
+
+#include "atpg/val5.h"
+#include "sim/levelizer.h"
+#include "sim/logic3.h"
+
+namespace retest::atpg {
+namespace {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+using sim::V3;
+
+/// Shared search budget.
+struct Budget {
+  long backtracks = 0;
+  long evaluations = 0;
+  const JustifyOptions* options;
+  bool Exhausted() const {
+    return backtracks > options->max_backtracks ||
+           evaluations > options->max_evaluations;
+  }
+};
+
+/// Enumerates (input vector, predecessor state cube) pairs whose
+/// next-state function covers the target cube in BOTH the good and the
+/// faulty machine, via PODEM over one composite combinational frame
+/// with PIs and pseudo-PIs assignable.
+class FrameSolver {
+ public:
+  FrameSolver(const netlist::Circuit& circuit, const sim::Levelization& levels,
+              const std::vector<char>& pi_reachable,
+              const std::vector<V3>& target,
+              const std::optional<fault::Fault>& fault, Budget& budget)
+      : circuit_(circuit),
+        levels_(levels),
+        pi_reachable_(pi_reachable),
+        target_(target),
+        fault_(fault),
+        budget_(budget),
+        values_(static_cast<size_t>(circuit.size()), V5::X()),
+        pi_(static_cast<size_t>(circuit.num_inputs()), V3::kX),
+        ppi_(static_cast<size_t>(circuit.num_dffs()), V3::kX) {}
+
+  /// Finds the next satisfying assignment; returns false when the
+  /// space (or budget) is exhausted.  After a `true` return, read the
+  /// solution via inputs()/predecessor() and call Next() again for an
+  /// alternative.
+  bool Next() {
+    if (done_) return false;
+    if (yielded_) {
+      // Resume: treat the previous solution as a dead end.
+      if (!Backtrack()) {
+        done_ = true;
+        return false;
+      }
+    }
+    while (true) {
+      if (budget_.Exhausted()) {
+        done_ = true;
+        return false;
+      }
+      Evaluate();
+      const int verdict = CheckTargets();
+      if (verdict == kSatisfied) {
+        yielded_ = true;
+        return true;
+      }
+      std::optional<Decision> decision;
+      if (verdict >= 0) {
+        decision = Backtrace(verdict);
+      }
+      if (decision) {
+        Apply(*decision);
+        stack_.push_back(*decision);
+        continue;
+      }
+      ++budget_.backtracks;
+      if (!Backtrack()) {
+        done_ = true;
+        return false;
+      }
+    }
+  }
+
+  const std::vector<V3>& inputs() const { return pi_; }
+  const std::vector<V3>& predecessor() const { return ppi_; }
+
+ private:
+  static constexpr int kSatisfied = -1;
+  static constexpr int kConflict = -2;
+
+  struct Decision {
+    int pi = -1;   ///< Index into pi_, or -1.
+    int ppi = -1;  ///< Index into ppi_, or -1.
+    V3 value = V3::kX;
+    bool flipped = false;
+  };
+
+  bool HasFaultAt(NodeId id, int pin) const {
+    return fault_ && fault_->site.node == id && fault_->site.pin == pin;
+  }
+  V3 Forced() const { return fault_->stuck_at_1 ? V3::k1 : V3::k0; }
+
+  void Evaluate() {
+    const auto& pis = circuit_.inputs();
+    for (size_t i = 0; i < pis.size(); ++i) {
+      V5 v = Both(pi_[i]);
+      if (HasFaultAt(pis[i], -1)) v.faulty = Forced();
+      values_[static_cast<size_t>(pis[i])] = v;
+    }
+    const auto& dffs = circuit_.dffs();
+    for (size_t i = 0; i < dffs.size(); ++i) {
+      V5 v = Both(ppi_[i]);
+      if (HasFaultAt(dffs[i], -1)) v.faulty = Forced();
+      values_[static_cast<size_t>(dffs[i])] = v;
+    }
+    for (NodeId id : levels_.order) {
+      const Node& node = circuit_.node(id);
+      if (node.kind == NodeKind::kInput || node.kind == NodeKind::kDff) {
+        continue;
+      }
+      ++budget_.evaluations;
+      V5 out;
+      auto fold = [&](V3 unit, auto&& op, bool invert) {
+        out = Both(unit);
+        for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+          V5 in = values_[static_cast<size_t>(node.fanin[pin])];
+          if (HasFaultAt(id, static_cast<int>(pin))) in.faulty = Forced();
+          out.good = op(out.good, in.good);
+          out.faulty = op(out.faulty, in.faulty);
+        }
+        if (invert) {
+          out.good = sim::Not3(out.good);
+          out.faulty = sim::Not3(out.faulty);
+        }
+      };
+      switch (node.kind) {
+        case NodeKind::kConst0: out = Both(V3::k0); break;
+        case NodeKind::kConst1: out = Both(V3::k1); break;
+        case NodeKind::kOutput:
+        case NodeKind::kBuf:
+        case NodeKind::kNot:
+          out = values_[static_cast<size_t>(node.fanin[0])];
+          if (HasFaultAt(id, 0)) out.faulty = Forced();
+          if (node.kind == NodeKind::kNot) {
+            out.good = sim::Not3(out.good);
+            out.faulty = sim::Not3(out.faulty);
+          }
+          break;
+        case NodeKind::kAnd: fold(V3::k1, sim::And3, false); break;
+        case NodeKind::kNand: fold(V3::k1, sim::And3, true); break;
+        case NodeKind::kOr: fold(V3::k0, sim::Or3, false); break;
+        case NodeKind::kNor: fold(V3::k0, sim::Or3, true); break;
+        case NodeKind::kXor: fold(V3::k0, sim::Xor3, false); break;
+        case NodeKind::kXnor: fold(V3::k0, sim::Xor3, true); break;
+        default: out = V5::X(); break;
+      }
+      if (HasFaultAt(id, -1)) out.faulty = Forced();
+      values_[static_cast<size_t>(id)] = out;
+    }
+  }
+
+  /// The value latched by DFF index b (with a data-pin fault applied).
+  V5 Latched(size_t b) const {
+    const NodeId dff = circuit_.dffs()[b];
+    V5 v = values_[static_cast<size_t>(circuit_.node(dff).fanin[0])];
+    if (HasFaultAt(dff, 0)) v.faulty = Forced();
+    return v;
+  }
+
+  /// Returns kSatisfied, kConflict, or the index of an unsatisfied
+  /// target bit (one whose latched value still has an unknown side).
+  int CheckTargets() {
+    int unsatisfied = kSatisfied;
+    for (size_t b = 0; b < target_.size(); ++b) {
+      if (target_[b] == V3::kX) continue;
+      const V5 value = Latched(b);
+      if ((value.good != V3::kX && value.good != target_[b]) ||
+          (value.faulty != V3::kX && value.faulty != target_[b])) {
+        return kConflict;
+      }
+      if (value.good == V3::kX || value.faulty == V3::kX) {
+        if (unsatisfied == kSatisfied) unsatisfied = static_cast<int>(b);
+      }
+    }
+    return unsatisfied;
+  }
+
+  std::optional<Decision> Backtrace(int target_bit) {
+    NodeId where = circuit_.node(circuit_.dffs()[static_cast<size_t>(
+        target_bit)]).fanin[0];
+    V3 value = target_[static_cast<size_t>(target_bit)];
+    for (int guard = 0; guard < 1'000'000; ++guard) {
+      const Node& node = circuit_.node(where);
+      switch (node.kind) {
+        case NodeKind::kInput: {
+          int pi_index = 0;
+          for (NodeId pi : circuit_.inputs()) {
+            if (pi == where) break;
+            ++pi_index;
+          }
+          if (pi_[static_cast<size_t>(pi_index)] != V3::kX) {
+            return std::nullopt;  // already assigned; nothing to decide
+          }
+          Decision decision;
+          decision.pi = pi_index;
+          decision.value = value;
+          return decision;
+        }
+        case NodeKind::kDff: {
+          int ppi_index = 0;
+          for (NodeId dff : circuit_.dffs()) {
+            if (dff == where) break;
+            ++ppi_index;
+          }
+          if (ppi_[static_cast<size_t>(ppi_index)] != V3::kX) {
+            return std::nullopt;
+          }
+          Decision decision;
+          decision.ppi = ppi_index;
+          decision.value = value;
+          return decision;
+        }
+        case NodeKind::kNot:
+          value = sim::Not3(value);
+          [[fallthrough]];
+        case NodeKind::kBuf:
+        case NodeKind::kOutput:
+          where = node.fanin[0];
+          break;
+        case NodeKind::kNand:
+        case NodeKind::kNor:
+          value = sim::Not3(value);
+          [[fallthrough]];
+        case NodeKind::kAnd:
+        case NodeKind::kOr:
+        case NodeKind::kXor:
+        case NodeKind::kXnor: {
+          // Prefer inputs whose cone reaches a real PI: assignments
+          // there relax the predecessor cube faster.
+          NodeId chosen = netlist::kNoNode;
+          for (int pass = 0; pass < 2 && chosen == netlist::kNoNode; ++pass) {
+            for (NodeId driver : node.fanin) {
+              const V5& v = values_[static_cast<size_t>(driver)];
+              if (v.good != V3::kX && v.faulty != V3::kX) continue;
+              if (pass == 0 && !pi_reachable_[static_cast<size_t>(driver)]) {
+                continue;
+              }
+              chosen = driver;
+              break;
+            }
+          }
+          if (chosen == netlist::kNoNode) return std::nullopt;
+          where = chosen;
+          break;
+        }
+        default:
+          return std::nullopt;  // constants
+      }
+    }
+    return std::nullopt;
+  }
+
+  void Apply(const Decision& decision) {
+    if (decision.pi >= 0) {
+      pi_[static_cast<size_t>(decision.pi)] = decision.value;
+    } else {
+      ppi_[static_cast<size_t>(decision.ppi)] = decision.value;
+    }
+  }
+
+  bool Backtrack() {
+    while (!stack_.empty()) {
+      Decision& top = stack_.back();
+      if (!top.flipped) {
+        top.flipped = true;
+        top.value = sim::Not3(top.value);
+        Apply(top);
+        return true;
+      }
+      // Unassign.
+      if (top.pi >= 0) {
+        pi_[static_cast<size_t>(top.pi)] = V3::kX;
+      } else {
+        ppi_[static_cast<size_t>(top.ppi)] = V3::kX;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  const netlist::Circuit& circuit_;
+  const sim::Levelization& levels_;
+  const std::vector<char>& pi_reachable_;
+  const std::vector<V3>& target_;
+  const std::optional<fault::Fault>& fault_;
+  Budget& budget_;
+  std::vector<V5> values_;
+  std::vector<V3> pi_;
+  std::vector<V3> ppi_;
+  std::vector<Decision> stack_;
+  bool yielded_ = false;
+  bool done_ = false;
+};
+
+class Justifier {
+ public:
+  Justifier(const netlist::Circuit& circuit, const JustifyOptions& options,
+            const std::optional<fault::Fault>& fault, JustifyCache* cache)
+      : circuit_(circuit),
+        options_(options),
+        fault_(fault),
+        cache_(cache),
+        levels_(sim::Levelize(circuit)) {
+    budget_.options = &options_;
+    // Static reachability of a real PI per node.
+    pi_reachable_.assign(static_cast<size_t>(circuit.size()), 0);
+    for (NodeId id : levels_.order) {
+      const Node& node = circuit.node(id);
+      if (node.kind == NodeKind::kInput) {
+        pi_reachable_[static_cast<size_t>(id)] = 1;
+      } else if (node.kind == NodeKind::kDff) {
+        pi_reachable_[static_cast<size_t>(id)] = 0;
+      } else {
+        char value = 0;
+        for (NodeId driver : node.fanin) {
+          value |= pi_reachable_[static_cast<size_t>(driver)];
+        }
+        pi_reachable_[static_cast<size_t>(id)] = value;
+      }
+    }
+  }
+
+  JustifyResult Run(const std::vector<V3>& target) {
+    JustifyResult result;
+    sim::InputSequence sequence;
+    const bool ok = Recurse(target, 0, sequence);
+    result.backtracks = budget_.backtracks;
+    result.evaluations = budget_.evaluations;
+    if (ok) {
+      result.status = JustifyStatus::kJustified;
+      result.sequence = std::move(sequence);
+    } else {
+      result.status = budget_.Exhausted() ? JustifyStatus::kAborted
+                                          : JustifyStatus::kFailed;
+    }
+    return result;
+  }
+
+ private:
+  bool Recurse(const std::vector<V3>& target, int depth,
+               sim::InputSequence& sequence) {
+    bool trivial = true;
+    for (V3 v : target) trivial &= (v == V3::kX);
+    if (trivial) return true;  // any state will do
+    if (cache_ != nullptr) {
+      if (const sim::InputSequence* known = cache_->FindSuccess(target)) {
+        sequence = *known;
+        return true;
+      }
+      if (cache_->IsKnownFailure(target, fault_)) return false;
+    }
+    if (depth >= options_.max_depth || budget_.Exhausted()) return false;
+
+    FrameSolver solver(circuit_, levels_, pi_reachable_, target, fault_,
+                       budget_);
+    while (solver.Next()) {
+      if (Recurse(solver.predecessor(), depth + 1, sequence)) {
+        // Prefix found for the predecessor; append this frame's
+        // inputs (X's are free -- fill with 0).
+        std::vector<V3> vector = solver.inputs();
+        for (V3& v : vector) {
+          if (v == V3::kX) v = V3::k0;
+        }
+        sequence.push_back(std::move(vector));
+        if (cache_ != nullptr) cache_->RecordSuccess(target, sequence);
+        return true;
+      }
+    }
+    if (cache_ != nullptr && !budget_.Exhausted()) {
+      cache_->RecordFailure(target, fault_);
+    }
+    return false;
+  }
+
+  const netlist::Circuit& circuit_;
+  JustifyOptions options_;
+  std::optional<fault::Fault> fault_;
+  JustifyCache* cache_;
+  sim::Levelization levels_;
+  std::vector<char> pi_reachable_;
+  Budget budget_;
+};
+
+}  // namespace
+
+const sim::InputSequence* JustifyCache::FindSuccess(
+    const std::vector<V3>& target) const {
+  for (const auto& [cube, sequence] : successes_) {
+    if (cube.size() != target.size()) continue;
+    bool subsumes = true;
+    for (size_t b = 0; b < target.size() && subsumes; ++b) {
+      if (target[b] != V3::kX && cube[b] != target[b]) subsumes = false;
+    }
+    if (subsumes) return &sequence;
+  }
+  return nullptr;
+}
+
+bool JustifyCache::IsKnownFailure(
+    const std::vector<V3>& target,
+    const std::optional<fault::Fault>& fault) const {
+  for (const auto& [cube, tag] : failures_) {
+    if (cube == target && tag == fault) return true;
+  }
+  return false;
+}
+
+void JustifyCache::RecordSuccess(const std::vector<V3>& cube,
+                                 sim::InputSequence sequence) {
+  if (FindSuccess(cube) != nullptr) return;
+  successes_.emplace_back(cube, std::move(sequence));
+}
+
+void JustifyCache::RecordFailure(const std::vector<V3>& cube,
+                                 const std::optional<fault::Fault>& fault) {
+  if (IsKnownFailure(cube, fault)) return;
+  failures_.emplace_back(cube, fault);
+}
+
+JustifyResult JustifyState(const netlist::Circuit& circuit,
+                           const std::vector<V3>& target,
+                           const JustifyOptions& options,
+                           const std::optional<fault::Fault>& fault,
+                           JustifyCache* cache) {
+  Justifier justifier(circuit, options, fault, cache);
+  return justifier.Run(target);
+}
+
+}  // namespace retest::atpg

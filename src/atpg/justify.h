@@ -1,0 +1,100 @@
+// HITEC-style backward state justification.
+//
+// Given a required state cube (per-DFF values, X = don't care), search
+// for an input sequence that drives the machine from the completely
+// unknown state into a state compatible with the cube.  The search
+// proceeds one time frame at a time: a frame solver enumerates
+// (input vector, predecessor state cube) pairs whose next-state
+// function covers the target, and the driver recurses on the
+// predecessor cube until it relaxes to all-X (reachable from anywhere).
+//
+// This is the paper's pain point: a retimed circuit's registers can
+// hold combinations "inconsistent with the values produced by the
+// logical structure" (Section III), so justification on retimed
+// circuits fails late and explosively -- which is what Table II's CPU
+// ratios measure.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "sim/simulator.h"
+
+namespace retest::atpg {
+
+/// Limits for a justification search.  `budget` members are shared
+/// across the whole recursion.
+struct JustifyOptions {
+  int max_depth = 24;          ///< Frames of backward recursion.
+  long max_backtracks = 4000;  ///< Total decision flips across the search.
+  long max_evaluations = 20'000'000;
+};
+
+enum class JustifyStatus {
+  kJustified,
+  kFailed,   ///< Search space exhausted within depth: no sequence.
+  kAborted,  ///< Limits hit.
+};
+
+struct JustifyResult {
+  JustifyStatus status = JustifyStatus::kAborted;
+  /// On success: applying this sequence from the all-X state leaves
+  /// every non-X target bit at its required value.
+  sim::InputSequence sequence;
+  long backtracks = 0;
+  long evaluations = 0;
+};
+
+/// Learned justification results shared across faults of one ATPG run
+/// (HITEC keeps similar state knowledge).  Successful entries are
+/// reused for any target they subsume; failures are keyed exactly.
+/// Cache entries from fault-free justifications are sound for any
+/// fault-free query; the ATPG only shares a cache across queries of
+/// the same composite machine semantics (see engine.cpp).
+class JustifyCache {
+ public:
+  /// A sequence known to realize a cube subsuming `target` from the
+  /// all-X state, or nullptr when none is recorded.  Successes are
+  /// shared across faults (the ATPG verifies candidates by fault
+  /// simulation, so a stale hit can cost a retry but never a wrong
+  /// detection claim).
+  const sim::InputSequence* FindSuccess(
+      const std::vector<sim::V3>& target) const;
+
+  /// Failures are fault-specific: a cube unjustifiable under one
+  /// composite machine may be justifiable under another.
+  bool IsKnownFailure(const std::vector<sim::V3>& target,
+                      const std::optional<fault::Fault>& fault) const;
+
+  void RecordSuccess(const std::vector<sim::V3>& cube,
+                     sim::InputSequence sequence);
+  void RecordFailure(const std::vector<sim::V3>& cube,
+                     const std::optional<fault::Fault>& fault);
+
+  size_t successes() const { return successes_.size(); }
+  size_t failures() const { return failures_.size(); }
+
+ private:
+  std::vector<std::pair<std::vector<sim::V3>, sim::InputSequence>> successes_;
+  std::vector<std::pair<std::vector<sim::V3>, std::optional<fault::Fault>>>
+      failures_;
+};
+
+/// Runs the backward justification for `target` (size = num_dffs).
+/// When `fault` is given, justification runs on the composite
+/// good/faulty machine (the fault injected in every frame): every
+/// assigned target bit must be reached in BOTH machines, which is what
+/// test generation needs (Lemmas 4/5: the faulty machine must be
+/// synchronized too).  Without a fault, only the good machine is
+/// constrained.  `cache` (optional) carries learned results across
+/// calls.
+JustifyResult JustifyState(const netlist::Circuit& circuit,
+                           const std::vector<sim::V3>& target,
+                           const JustifyOptions& options = {},
+                           const std::optional<fault::Fault>& fault =
+                               std::nullopt,
+                           JustifyCache* cache = nullptr);
+
+}  // namespace retest::atpg

@@ -1,0 +1,247 @@
+#include "atpg/podem.h"
+
+#include <optional>
+#include <vector>
+
+namespace retest::atpg {
+namespace {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+using sim::V3;
+
+/// A decision variable: a frame PI, or (frame-0) state bit when
+/// dff_index >= 0.
+struct Decision {
+  FramePi pi;
+  int dff_index = -1;
+  V3 value = V3::kX;
+  bool flipped = false;
+};
+
+class Podem {
+ public:
+  Podem(UnrolledModel& model, const PodemOptions& options)
+      : model_(model), options_(options) {}
+
+  PodemResult Run() {
+    PodemResult result;
+    const long start_evaluations = model_.evaluations();
+    while (true) {
+      result.evaluations = model_.evaluations() - start_evaluations;
+      if (result.evaluations > options_.max_evaluations) {
+        result.status = PodemStatus::kAborted;
+        return result;
+      }
+      if (model_.FaultObserved()) {
+        result.status = PodemStatus::kFound;
+        return result;
+      }
+      const auto objective = ChooseObjective();
+      std::optional<Decision> decision;
+      if (objective) decision = Backtrace(*objective);
+      if (decision) {
+        Assign(*decision);
+        stack_.push_back(*decision);
+        continue;
+      }
+      // Dead end: flip the most recent unflipped decision.
+      if (!Backtrack()) {
+        result.backtracks = backtracks_;
+        result.evaluations = model_.evaluations() - start_evaluations;
+        result.status = PodemStatus::kExhausted;
+        return result;
+      }
+      if (++backtracks_ > options_.max_backtracks) {
+        result.backtracks = backtracks_;
+        result.evaluations = model_.evaluations() - start_evaluations;
+        result.status = PodemStatus::kAborted;
+        return result;
+      }
+    }
+  }
+
+ private:
+  struct Objective {
+    FrameNode node;
+    V3 value = V3::kX;
+  };
+
+  static V3 Negate(V3 v) { return sim::Not3(v); }
+
+  /// Non-controlling side-input value for propagating through `kind`.
+  static std::optional<V3> NonControlling(NodeKind kind) {
+    switch (kind) {
+      case NodeKind::kAnd:
+      case NodeKind::kNand:
+        return V3::k1;
+      case NodeKind::kOr:
+      case NodeKind::kNor:
+        return V3::k0;
+      case NodeKind::kXor:
+      case NodeKind::kXnor:
+        return V3::k0;  // either binary value propagates
+      default:
+        return std::nullopt;
+    }
+  }
+
+  std::optional<Objective> ChooseObjective() {
+    if (!model_.FaultExcited()) {
+      const auto frames = model_.ActivationFrames();
+      const fault::Fault& fault = FaultOf();
+      const NodeId site = fault.site.pin < 0
+                              ? fault.site.node
+                              : model_.circuit()
+                                    .node(fault.site.node)
+                                    .fanin[static_cast<size_t>(fault.site.pin)];
+      for (int t : frames) {
+        if (!model_.Controllable({t, site})) continue;
+        return Objective{{t, site},
+                         fault.stuck_at_1 ? V3::k0 : V3::k1};
+      }
+      return std::nullopt;  // cannot excite under current assignments
+    }
+    // Advance the D-frontier: prefer later frames (closer to an
+    // observation opportunity in deep circuits the effect must travel
+    // forward in time).
+    const auto frontier = model_.DFrontier();
+    for (auto it = frontier.rbegin(); it != frontier.rend(); ++it) {
+      const Node& gate = model_.circuit().node(it->node);
+      const auto value = NonControlling(gate.kind);
+      if (!value) continue;
+      for (NodeId driver : gate.fanin) {
+        const FrameNode input{it->frame, driver};
+        if (model_.value(input).good == V3::kX &&
+            model_.Controllable(input)) {
+          return Objective{input, *value};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Decision> Backtrace(const Objective& objective) {
+    FrameNode where = objective.node;
+    V3 value = objective.value;
+    // Walk X-valued, controllable nodes back to a decision variable.
+    for (int guard = 0; guard < 1'000'000; ++guard) {
+      const Node& node = model_.circuit().node(where.node);
+      switch (node.kind) {
+        case NodeKind::kInput: {
+          int pi_index = 0;
+          for (NodeId pi : model_.circuit().inputs()) {
+            if (pi == where.node) break;
+            ++pi_index;
+          }
+          Decision decision;
+          decision.pi = {where.frame, pi_index};
+          decision.value = value;
+          return decision;
+        }
+        case NodeKind::kDff: {
+          if (where.frame == 0) {
+            if (!model_.free_state()) return std::nullopt;
+            int dff_index = 0;
+            for (NodeId dff : model_.circuit().dffs()) {
+              if (dff == where.node) break;
+              ++dff_index;
+            }
+            Decision decision;
+            decision.dff_index = dff_index;
+            decision.value = value;
+            return decision;
+          }
+          where = {where.frame - 1, node.fanin[0]};
+          break;
+        }
+        case NodeKind::kNot:
+          value = Negate(value);
+          [[fallthrough]];
+        case NodeKind::kBuf:
+        case NodeKind::kOutput:
+          where = {where.frame, node.fanin[0]};
+          break;
+        case NodeKind::kNand:
+        case NodeKind::kNor:
+          value = Negate(value);
+          [[fallthrough]];
+        case NodeKind::kAnd:
+        case NodeKind::kOr:
+        case NodeKind::kXor:
+        case NodeKind::kXnor: {
+          // Choose an unassigned controllable input, preferring paths
+          // that reach a real PI (keeps free-state searches from
+          // piling requirements onto the state).
+          NodeId chosen = netlist::kNoNode;
+          for (int pass = 0; pass < 2 && chosen == netlist::kNoNode; ++pass) {
+            for (NodeId driver : node.fanin) {
+              const FrameNode input{where.frame, driver};
+              if (model_.value(input).good != V3::kX ||
+                  !model_.Controllable(input)) {
+                continue;
+              }
+              if (pass == 0 && !model_.PiReachable(input)) continue;
+              chosen = driver;
+              break;
+            }
+          }
+          if (chosen == netlist::kNoNode) return std::nullopt;
+          where = {where.frame, chosen};
+          break;
+        }
+        default:
+          return std::nullopt;  // constants are uncontrollable
+      }
+    }
+    return std::nullopt;
+  }
+
+  void Assign(const Decision& decision) {
+    if (decision.dff_index >= 0) {
+      model_.AssignState(decision.dff_index, decision.value);
+    } else {
+      model_.AssignPi(decision.pi, decision.value);
+    }
+  }
+
+  void Unassign(const Decision& decision) {
+    if (decision.dff_index >= 0) {
+      model_.AssignState(decision.dff_index, V3::kX);
+    } else {
+      model_.AssignPi(decision.pi, V3::kX);
+    }
+  }
+
+  bool Backtrack() {
+    while (!stack_.empty()) {
+      Decision& top = stack_.back();
+      if (!top.flipped) {
+        top.flipped = true;
+        top.value = Negate(top.value);
+        Assign(top);
+        return true;
+      }
+      Unassign(top);
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+  const fault::Fault& FaultOf() const { return model_.fault(); }
+
+  UnrolledModel& model_;
+  PodemOptions options_;
+  std::vector<Decision> stack_;
+  long backtracks_ = 0;
+};
+
+}  // namespace
+
+PodemResult RunPodem(UnrolledModel& model, const PodemOptions& options) {
+  Podem podem(model, options);
+  return podem.Run();
+}
+
+}  // namespace retest::atpg

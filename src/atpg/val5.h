@@ -1,0 +1,42 @@
+// Composite 5-valued logic for stuck-at test generation.
+//
+// Each line carries a (good, faulty) pair of 3-valued values; the
+// classic Roth values are 0=(0,0), 1=(1,1), D=(1,0), D'=(0,1), X=any
+// pair with an unknown component.  Evaluating the pair componentwise
+// over the 3-valued algebra gives exactly the 5-valued calculus.
+#pragma once
+
+#include "sim/logic3.h"
+
+namespace retest::atpg {
+
+/// A (good machine, faulty machine) value pair.
+struct V5 {
+  sim::V3 good = sim::V3::kX;
+  sim::V3 faulty = sim::V3::kX;
+
+  friend bool operator==(const V5&, const V5&) = default;
+
+  static constexpr V5 Zero() { return {sim::V3::k0, sim::V3::k0}; }
+  static constexpr V5 One() { return {sim::V3::k1, sim::V3::k1}; }
+  static constexpr V5 D() { return {sim::V3::k1, sim::V3::k0}; }
+  static constexpr V5 Dbar() { return {sim::V3::k0, sim::V3::k1}; }
+  static constexpr V5 X() { return {sim::V3::kX, sim::V3::kX}; }
+
+  /// Same binary value in both machines.
+  bool IsBinary() const {
+    return good != sim::V3::kX && good == faulty;
+  }
+  /// Fault effect: both binary and different.
+  bool IsFaultEffect() const {
+    return good != sim::V3::kX && faulty != sim::V3::kX && good != faulty;
+  }
+  bool HasUnknown() const {
+    return good == sim::V3::kX || faulty == sim::V3::kX;
+  }
+};
+
+/// Broadcasts a known 3-valued value into both machines.
+inline V5 Both(sim::V3 v) { return {v, v}; }
+
+}  // namespace retest::atpg

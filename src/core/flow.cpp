@@ -1,0 +1,53 @@
+#include "core/flow.h"
+
+#include <chrono>
+
+#include "fault/collapse.h"
+#include "retime/apply.h"
+#include "retime/from_netlist.h"
+#include "retime/minreg.h"
+
+namespace retest::core {
+
+RetimeForTestResult RetimeForTest(const netlist::Circuit& hard,
+                                  const RetimeForTestOptions& options) {
+  RetimeForTestResult result;
+  result.hard_dffs = hard.num_dffs();
+
+  // Retime for testability: minimize registers, ignore the period.
+  const retime::BuildResult build =
+      retime::BuildGraph(hard, options.delay_model);
+  const retime::MinRegResult minreg = retime::MinimizeRegisters(build.graph);
+  retime::ApplyResult applied =
+      retime::ApplyRetiming(hard, build, minreg.retiming,
+                            hard.name() + ".mintest");
+  result.easy = std::move(applied.circuit);
+  result.easy_dffs = result.easy.num_dffs();
+
+  // ATPG on the easy circuit.
+  result.atpg_result = atpg::RunAtpg(result.easy, options.atpg);
+
+  // Map the test set back: hard = Retime(easy, -r), so the prefix is
+  // the backward-move maximum of r (Theorem 4 applied to the inverse).
+  result.prefix_length = InversePrefixLength(build.graph, minreg.retiming);
+  TestSet easy_tests;
+  easy_tests.tests = result.atpg_result.tests;
+  result.derived =
+      DeriveRetimedTestSet(easy_tests, result.prefix_length,
+                           hard.num_inputs(), options.prefix_style);
+
+  // Fault simulate the derived set on the hard circuit.
+  const auto start = std::chrono::steady_clock::now();
+  const fault::CollapsedFaults collapsed = fault::Collapse(hard);
+  const auto sim_result = faultsim::SimulateProofs(
+      hard, collapsed.representatives, result.derived.Concatenated());
+  result.fault_sim_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  result.hard_faults = static_cast<int>(collapsed.representatives.size());
+  result.hard_detected = sim_result.num_detected();
+  return result;
+}
+
+}  // namespace retest::core

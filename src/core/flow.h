@@ -1,0 +1,50 @@
+// The paper's Fig. 6 flow: "retime for testability".
+//
+// Given a hard-to-test (performance-retimed) circuit, retime it to
+// minimize registers, run ATPG on the easy version, and map the test
+// set back to the original circuit by prefixing the pre-determined
+// number of arbitrary vectors (Theorem 4).  The mapped set is then
+// fault simulated on the hard circuit.
+#pragma once
+
+#include "atpg/engine.h"
+#include "core/preserve.h"
+#include "core/testset.h"
+#include "faultsim/proofs.h"
+#include "netlist/circuit.h"
+#include "retime/graph.h"
+
+namespace retest::core {
+
+/// Flow configuration.
+struct RetimeForTestOptions {
+  atpg::AtpgOptions atpg;
+  retime::DelayModel delay_model = retime::DelayModel::kUnit;
+  PrefixStyle prefix_style = PrefixStyle::kZeros;
+};
+
+/// Everything the Fig. 6 comparison reports.
+struct RetimeForTestResult {
+  netlist::Circuit easy;          ///< Register-minimized version.
+  int easy_dffs = 0;
+  int hard_dffs = 0;
+  int prefix_length = 0;          ///< Arbitrary vectors prepended.
+  atpg::AtpgResult atpg_result;   ///< ATPG run on the easy circuit.
+  TestSet derived;                ///< Mapped test set for the hard circuit.
+  /// Fault simulation of `derived` on the hard circuit's collapsed
+  /// fault list.
+  int hard_faults = 0;
+  int hard_detected = 0;
+  long fault_sim_ms = 0;
+
+  double HardCoverage() const {
+    return hard_faults == 0 ? 100.0
+                            : 100.0 * hard_detected / hard_faults;
+  }
+};
+
+/// Runs the flow on `hard`.
+RetimeForTestResult RetimeForTest(const netlist::Circuit& hard,
+                                  const RetimeForTestOptions& options = {});
+
+}  // namespace retest::core

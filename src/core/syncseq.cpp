@@ -1,0 +1,82 @@
+#include "core/syncseq.h"
+
+namespace retest::core {
+namespace {
+
+using sim::V3;
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+int BinaryBits(const std::vector<V3>& state) {
+  int count = 0;
+  for (V3 v : state) count += v != V3::kX ? 1 : 0;
+  return count;
+}
+
+}  // namespace
+
+bool StructurallySynchronizes(const netlist::Circuit& circuit,
+                              const sim::InputSequence& sequence) {
+  sim::Simulator simulator(circuit);
+  simulator.Reset();
+  for (const auto& vector : sequence) simulator.Step(vector);
+  return simulator.StateIsBinary();
+}
+
+std::optional<sim::InputSequence> FindStructuralSyncSequence(
+    const netlist::Circuit& circuit, const SyncSearchOptions& options) {
+  Rng rng{options.seed};
+  sim::Simulator simulator(circuit);
+  simulator.Reset();
+  sim::InputSequence sequence;
+  const int num_inputs = circuit.num_inputs();
+
+  auto candidate = [&](int which) {
+    std::vector<V3> vector(static_cast<size_t>(num_inputs));
+    for (auto& v : vector) {
+      // Candidates 0/1 are the all-0 and all-1 vectors (reset lines
+      // respond to constants); the rest are random.
+      if (which == 0) {
+        v = V3::k0;
+      } else if (which == 1) {
+        v = V3::k1;
+      } else {
+        v = (rng.Next() & 1) ? V3::k1 : V3::k0;
+      }
+    }
+    return vector;
+  };
+
+  for (int step = 0; step < options.max_length; ++step) {
+    if (simulator.StateIsBinary()) return sequence;
+    const auto before = simulator.State();
+    std::vector<V3> best_vector;
+    std::vector<V3> best_state;
+    int best_bits = -1;
+    for (int c = 0; c < options.candidates_per_step + 2; ++c) {
+      const auto vector = candidate(c);
+      simulator.SetState(before);
+      simulator.Step(vector);
+      const auto after = simulator.State();
+      const int bits = BinaryBits(after);
+      if (bits > best_bits) {
+        best_bits = bits;
+        best_vector = vector;
+        best_state = after;
+      }
+    }
+    simulator.SetState(best_state);
+    sequence.push_back(best_vector);
+  }
+  return simulator.StateIsBinary() ? std::optional(sequence) : std::nullopt;
+}
+
+}  // namespace retest::core

@@ -1,0 +1,37 @@
+// Structural (3-valued) synchronizing sequences.
+//
+// A structural-based synchronizing sequence drives every DFF to a
+// binary value under 3-valued simulation from the all-X state (paper
+// Section II).  Theorem 1 guarantees such sequences survive retiming
+// unchanged; the search here is the standard greedy/random one used to
+// initialize circuits without a reset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "netlist/circuit.h"
+#include "sim/simulator.h"
+
+namespace retest::core {
+
+/// True iff `sequence` synchronizes the circuit under 3-valued
+/// simulation (every DFF binary afterwards).
+bool StructurallySynchronizes(const netlist::Circuit& circuit,
+                              const sim::InputSequence& sequence);
+
+/// Search knobs.
+struct SyncSearchOptions {
+  int max_length = 64;          ///< Give up past this many vectors.
+  int candidates_per_step = 16; ///< Random vectors tried per step.
+  std::uint64_t seed = 1;
+};
+
+/// Greedy search: at each step pick the candidate vector that
+/// maximizes the number of binary DFFs.  Returns a synchronizing
+/// sequence or nullopt (the circuit may not be structurally
+/// synchronizable).
+std::optional<sim::InputSequence> FindStructuralSyncSequence(
+    const netlist::Circuit& circuit, const SyncSearchOptions& options = {});
+
+}  // namespace retest::core

@@ -1,0 +1,50 @@
+#include "core/testset.h"
+
+#include <sstream>
+
+namespace retest::core {
+
+int TestSet::total_vectors() const {
+  int total = 0;
+  for (const auto& test : tests) total += static_cast<int>(test.size());
+  return total;
+}
+
+sim::InputSequence TestSet::Concatenated() const {
+  sim::InputSequence all;
+  all.reserve(static_cast<size_t>(total_vectors()));
+  for (const auto& test : tests) {
+    all.insert(all.end(), test.begin(), test.end());
+  }
+  return all;
+}
+
+std::string TestSet::ToText() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < tests.size(); ++i) {
+    if (i) out << "\n";
+    for (const auto& vector : tests[i]) {
+      out << sim::ToString(vector) << "\n";
+    }
+  }
+  return out.str();
+}
+
+TestSet TestSet::FromText(const std::string& text) {
+  TestSet set;
+  std::istringstream in(text);
+  std::string line;
+  sim::InputSequence current;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      if (!current.empty()) set.tests.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(sim::FromString(line));
+  }
+  if (!current.empty()) set.tests.push_back(std::move(current));
+  return set;
+}
+
+}  // namespace retest::core

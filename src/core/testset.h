@@ -1,0 +1,30 @@
+// Test sets: ordered collections of input sequences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace retest::core {
+
+/// A single-stuck-at test set: a list of tests, each an input sequence
+/// that works from an unknown initial state.  Applied as one
+/// concatenated stream (any vectors preceding a test only help: they
+/// are "arbitrary inputs" in the sense of the paper's prefix P).
+struct TestSet {
+  std::vector<sim::InputSequence> tests;
+
+  int num_tests() const { return static_cast<int>(tests.size()); }
+  int total_vectors() const;
+
+  /// All tests back to back, in order.
+  sim::InputSequence Concatenated() const;
+
+  /// Serialization: one vector per line ('0'/'1'/'x'), blank line
+  /// between tests.
+  std::string ToText() const;
+  static TestSet FromText(const std::string& text);
+};
+
+}  // namespace retest::core

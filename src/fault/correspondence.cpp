@@ -1,0 +1,42 @@
+#include "fault/correspondence.h"
+
+#include <algorithm>
+
+#include "retime/moves.h"
+
+namespace retest::fault {
+
+Correspondence BuildCorrespondence(const retime::BuildResult& build,
+                                   const retime::Retiming& retiming,
+                                   const retime::ApplyResult& applied) {
+  const retime::Graph& graph = build.graph;
+  const auto segment_map = retime::SegmentCorrespondence(graph, retiming);
+
+  Correspondence result;
+  auto add = [](std::map<Site, std::vector<Site>>& map, const Site& key,
+                const Site& value) {
+    auto& list = map[key];
+    if (std::find(list.begin(), list.end(), value) == list.end()) {
+      list.push_back(value);
+    }
+  };
+
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const auto& original_sites = graph.edges[static_cast<size_t>(e)].segments;
+    const auto& retimed_sites = applied.segments[static_cast<size_t>(e)];
+    const auto& mapping = segment_map[static_cast<size_t>(e)];
+    for (size_t j = 0; j < mapping.size(); ++j) {
+      for (const Site& new_site : retimed_sites[j]) {
+        for (int original_segment : mapping[j]) {
+          const Site& old_site =
+              original_sites[static_cast<size_t>(original_segment)];
+          add(result.to_original, new_site, old_site);
+          add(result.to_retimed, old_site, new_site);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace retest::fault

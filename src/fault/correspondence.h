@@ -1,0 +1,38 @@
+// Fault correspondence between a circuit and its retimed version.
+//
+// Implements the paper's Section IV.B notion: each retiming-graph edge
+// of weight n is divided into n+1 lines (Fig. 4); placing or removing
+// DFFs on a line splits or merges lines, and a fault on a line
+// corresponds to all faults on the lines it split into / merged with.
+// The relation is computed exactly by composing the atomic moves of a
+// legal schedule (retime::SegmentCorrespondence).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "fault/fault.h"
+#include "retime/apply.h"
+#include "retime/from_netlist.h"
+#include "retime/graph.h"
+
+namespace retest::fault {
+
+/// Bidirectional site correspondence between an original circuit K and
+/// a retiming K' of it.  A stuck-at-v fault corresponds site-wise with
+/// unchanged polarity.
+struct Correspondence {
+  /// K' site -> corresponding K sites (always non-empty: every fault in
+  /// a retimed circuit has at least one corresponding original fault).
+  std::map<Site, std::vector<Site>> to_original;
+  /// K site -> corresponding K' sites.
+  std::map<Site, std::vector<Site>> to_retimed;
+};
+
+/// Builds the correspondence for `retiming` of the circuit behind
+/// `build`, where `applied` is the ApplyRetiming result.
+Correspondence BuildCorrespondence(const retime::BuildResult& build,
+                                   const retime::Retiming& retiming,
+                                   const retime::ApplyResult& applied);
+
+}  // namespace retest::fault

@@ -1,0 +1,52 @@
+#include "fault/fault.h"
+
+namespace retest::fault {
+
+using netlist::Circuit;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+std::string ToString(const Circuit& circuit, const Site& site) {
+  const Node& node = circuit.node(site.node);
+  if (site.pin < 0) return node.name;
+  const Node& driver = circuit.node(node.fanin[static_cast<size_t>(site.pin)]);
+  return driver.name + "->" + node.name + "[" + std::to_string(site.pin) + "]";
+}
+
+std::string ToString(const Circuit& circuit, const Fault& fault) {
+  return ToString(circuit, fault.site) +
+         (fault.stuck_at_1 ? " s-a-1" : " s-a-0");
+}
+
+std::vector<Fault> EnumerateFaults(const Circuit& circuit) {
+  std::vector<Fault> faults;
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    // Stem: the node's output net, if anyone consumes it.
+    if (node.kind != NodeKind::kOutput && !node.fanout.empty()) {
+      faults.push_back({{id, -1}, false});
+      faults.push_back({{id, -1}, true});
+    }
+    // Branches: fanin pins whose driver fans out.
+    for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+      const Node& driver = circuit.node(node.fanin[pin]);
+      if (driver.fanout.size() >= 2) {
+        faults.push_back({{id, static_cast<int>(pin)}, false});
+        faults.push_back({{id, static_cast<int>(pin)}, true});
+      }
+    }
+  }
+  return faults;
+}
+
+sim::Injection ToInjection(const Fault& fault, int lane) {
+  sim::Injection injection;
+  injection.node = fault.site.node;
+  injection.pin = fault.site.pin;
+  injection.value = fault.stuck_at_1;
+  injection.lane = lane;
+  return injection;
+}
+
+}  // namespace retest::fault

@@ -1,0 +1,69 @@
+#include "faultsim/proofs.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/parallel.h"
+
+namespace retest::faultsim {
+
+using sim::V3;
+using sim::Word3;
+
+ProofsResult SimulateProofs(const netlist::Circuit& circuit,
+                            std::span<const fault::Fault> faults,
+                            const sim::InputSequence& sequence,
+                            const ProofsOptions& options) {
+  ProofsResult result;
+  result.detections.assign(faults.size(), {});
+  if (faults.empty() || sequence.empty()) return result;
+
+  // Good-machine responses once.
+  sim::Simulator good(circuit);
+  good.Reset();
+  const auto good_outputs = good.Run(sequence);
+
+  sim::ParallelFrame frame(circuit);
+  const size_t num_dffs = static_cast<size_t>(circuit.num_dffs());
+  const auto& outputs = circuit.outputs();
+
+  for (size_t base = 0; base < faults.size(); base += 64) {
+    const int lanes = static_cast<int>(std::min<size_t>(64, faults.size() - base));
+    std::vector<sim::Injection> injections;
+    injections.reserve(static_cast<size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      injections.push_back(fault::ToInjection(faults[base + static_cast<size_t>(lane)], lane));
+    }
+    frame.SetInjections(injections);
+
+    std::vector<Word3> state(num_dffs, Word3{});  // all-X initial state
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+    std::uint64_t undetected = lane_mask;
+
+    for (size_t t = 0; t < sequence.size(); ++t) {
+      frame.Step(sequence[t], state);
+      ++result.frames_evaluated;
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        const V3 g = good_outputs[t][o];
+        if (g == V3::kX) continue;
+        const Word3& w = frame.value(outputs[o]);
+        // Faulty machine must be binary and complementary.
+        const std::uint64_t differs = (g == V3::k1 ? w.zero : w.one);
+        std::uint64_t newly = differs & undetected;
+        while (newly != 0) {
+          const int lane = std::countr_zero(newly);
+          newly &= newly - 1;
+          auto& detection = result.detections[base + static_cast<size_t>(lane)];
+          detection.detected = true;
+          detection.time = static_cast<int>(t);
+          undetected &= ~(1ull << lane);
+        }
+      }
+      if (options.drop_detected && undetected == 0) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace retest::faultsim

@@ -1,0 +1,46 @@
+// PROOFS-style sequential fault simulator.
+//
+// Simulates 64 faulty machines per pass using the bit-parallel 3-valued
+// engine (Niermann/Cheng/Patel, DAC 1990 — the simulator the paper's
+// Section V.C experiments used).  Faults are dropped from further work
+// once detected; each faulty machine keeps its own DFF state across the
+// whole sequence.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.h"
+#include "faultsim/serial.h"
+#include "sim/simulator.h"
+
+namespace retest::faultsim {
+
+/// Knobs for the parallel fault simulator.
+struct ProofsOptions {
+  /// Stop simulating a 64-fault group once all its faults are detected.
+  bool drop_detected = true;
+};
+
+/// Aggregate result of a fault-simulation run.
+struct ProofsResult {
+  /// One entry per fault, in input order.
+  std::vector<Detection> detections;
+  /// Total circuit-frame evaluations performed (deterministic work
+  /// measure; 64 machines per frame).
+  long frames_evaluated = 0;
+
+  int num_detected() const {
+    int count = 0;
+    for (const Detection& d : detections) count += d.detected ? 1 : 0;
+    return count;
+  }
+};
+
+/// Fault simulates `sequence` over `faults` (64 per pass).
+ProofsResult SimulateProofs(const netlist::Circuit& circuit,
+                            std::span<const fault::Fault> faults,
+                            const sim::InputSequence& sequence,
+                            const ProofsOptions& options = {});
+
+}  // namespace retest::faultsim

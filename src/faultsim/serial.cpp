@@ -1,0 +1,112 @@
+#include "faultsim/serial.h"
+
+#include <stdexcept>
+
+namespace retest::faultsim {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+using sim::V3;
+
+FaultySimulator::FaultySimulator(const netlist::Circuit& circuit,
+                                 const fault::Fault& fault)
+    : circuit_(&circuit),
+      fault_(fault),
+      levels_(sim::Levelize(circuit)),
+      values_(static_cast<size_t>(circuit.size()), V3::kX),
+      state_(static_cast<size_t>(circuit.num_dffs()), V3::kX) {}
+
+void FaultySimulator::Reset() { state_.assign(state_.size(), V3::kX); }
+
+void FaultySimulator::SetState(std::span<const V3> state) {
+  if (state.size() != state_.size()) {
+    throw std::invalid_argument("FaultySimulator::SetState: wrong width");
+  }
+  state_.assign(state.begin(), state.end());
+}
+
+std::vector<V3> FaultySimulator::Step(std::span<const V3> inputs) {
+  const netlist::Circuit& circuit = *circuit_;
+  if (inputs.size() != static_cast<size_t>(circuit.num_inputs())) {
+    throw std::invalid_argument("FaultySimulator::Step: wrong input width");
+  }
+  const V3 forced = fault_.stuck_at_1 ? V3::k1 : V3::k0;
+
+  const auto& pis = circuit.inputs();
+  for (size_t i = 0; i < pis.size(); ++i) {
+    values_[static_cast<size_t>(pis[i])] = inputs[i];
+  }
+  const auto& dffs = circuit.dffs();
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    values_[static_cast<size_t>(dffs[i])] = state_[i];
+  }
+  // Stem fault on a source (PI or DFF output).
+  if (fault_.site.pin < 0) {
+    const NodeKind kind = circuit.node(fault_.site.node).kind;
+    if (kind == NodeKind::kInput || kind == NodeKind::kDff) {
+      values_[static_cast<size_t>(fault_.site.node)] = forced;
+    }
+  }
+
+  std::vector<V3> fanin_values;
+  for (NodeId id : levels_.order) {
+    const Node& node = circuit.node(id);
+    if (node.kind == NodeKind::kInput || node.kind == NodeKind::kDff) continue;
+    fanin_values.clear();
+    for (NodeId driver : node.fanin) {
+      fanin_values.push_back(values_[static_cast<size_t>(driver)]);
+    }
+    if (fault_.site.node == id && fault_.site.pin >= 0) {
+      fanin_values[static_cast<size_t>(fault_.site.pin)] = forced;
+    }
+    V3 out = node.kind == NodeKind::kOutput
+                 ? fanin_values[0]
+                 : sim::EvalGate3(node.kind, fanin_values);
+    if (fault_.site.node == id && fault_.site.pin < 0) out = forced;
+    values_[static_cast<size_t>(id)] = out;
+  }
+
+  std::vector<V3> outputs;
+  outputs.reserve(circuit.outputs().size());
+  for (NodeId id : circuit.outputs()) {
+    outputs.push_back(values_[static_cast<size_t>(id)]);
+  }
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    const Node& dff = circuit.node(dffs[i]);
+    V3 d = values_[static_cast<size_t>(dff.fanin[0])];
+    if (fault_.site.node == dffs[i] && fault_.site.pin == 0) d = forced;
+    state_[i] = d;
+  }
+  return outputs;
+}
+
+std::vector<Detection> SimulateSerial(const netlist::Circuit& circuit,
+                                      std::span<const fault::Fault> faults,
+                                      const sim::InputSequence& sequence) {
+  // Good-machine responses once.
+  sim::Simulator good(circuit);
+  good.Reset();
+  const auto good_outputs = good.Run(sequence);
+
+  std::vector<Detection> detections(faults.size());
+  for (size_t f = 0; f < faults.size(); ++f) {
+    FaultySimulator faulty(circuit, faults[f]);
+    for (size_t t = 0; t < sequence.size(); ++t) {
+      const auto outputs = faulty.Step(sequence[t]);
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        const V3 g = good_outputs[t][o];
+        const V3 b = outputs[o];
+        if (g != V3::kX && b != V3::kX && g != b) {
+          detections[f].detected = true;
+          detections[f].time = static_cast<int>(t);
+          break;
+        }
+      }
+      if (detections[f].detected) break;
+    }
+  }
+  return detections;
+}
+
+}  // namespace retest::faultsim

@@ -1,0 +1,57 @@
+// Serial (one-fault-at-a-time) sequential fault simulator.
+//
+// An independent scalar reference implementation used to cross-check
+// the 64-way PROOFS-style engine and by small worked examples.  Both
+// engines implement the same semantics: the faulty machine starts from
+// an all-X state with the fault injected from time 0; a fault is
+// detected at time t when some primary output is binary in both the
+// good and faulty machine and the values differ.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.h"
+#include "sim/simulator.h"
+
+namespace retest::faultsim {
+
+/// Per-fault outcome of simulating a test sequence.
+struct Detection {
+  bool detected = false;
+  int time = -1;  ///< First vector index at which the fault was seen.
+};
+
+/// Simulates `sequence` on the good machine and on each faulty machine
+/// in turn.  Returns one Detection per fault in `faults` order.
+std::vector<Detection> SimulateSerial(const netlist::Circuit& circuit,
+                                      std::span<const fault::Fault> faults,
+                                      const sim::InputSequence& sequence);
+
+/// Scalar 3-valued sequential simulator with one injected fault;
+/// exposed for examples that want to inspect faulty-machine states
+/// (e.g. the paper's Example 2).
+class FaultySimulator {
+ public:
+  FaultySimulator(const netlist::Circuit& circuit, const fault::Fault& fault);
+
+  /// Resets every DFF to X.
+  void Reset();
+
+  /// Overwrites the faulty machine's DFF state (Circuit::dffs order).
+  void SetState(std::span<const sim::V3> state);
+
+  /// Applies one vector; returns faulty-machine PO values.
+  std::vector<sim::V3> Step(std::span<const sim::V3> inputs);
+
+  /// Current faulty-machine DFF state.
+  const std::vector<sim::V3>& state() const { return state_; }
+
+ private:
+  const netlist::Circuit* circuit_;
+  fault::Fault fault_;
+  sim::Levelization levels_;
+  std::vector<sim::V3> values_;
+  std::vector<sim::V3> state_;
+};
+
+}  // namespace retest::faultsim

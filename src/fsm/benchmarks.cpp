@@ -1,0 +1,111 @@
+#include "fsm/benchmarks.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace retest::fsm {
+namespace {
+
+/// splitmix64: tiny deterministic PRNG, stable across platforms.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  int Below(int bound) {
+    return static_cast<int>(Next() % static_cast<std::uint64_t>(bound));
+  }
+};
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& PaperFsmTable() {
+  static const std::vector<BenchmarkInfo> kTable = {
+      {"dk16", 3, 3, 27, true},  {"pma", 9, 8, 24, true},
+      {"s510", 20, 7, 47, true}, {"s820", 18, 19, 25, false},
+      {"s832", 18, 19, 25, false}, {"scf", 27, 54, 121, true},
+  };
+  return kTable;
+}
+
+Fsm GenerateFsm(const char* name, int num_inputs, int num_outputs,
+                int num_states, std::uint64_t seed) {
+  Fsm fsm;
+  fsm.name = name;
+  fsm.num_inputs = num_inputs;
+  fsm.num_outputs = num_outputs;
+  for (int s = 0; s < num_states; ++s) {
+    fsm.AddState("st" + std::to_string(s));
+  }
+  fsm.reset_state = 0;
+
+  Rng rng{seed};
+  // Moore-style outputs: one output word per state.  This mirrors the
+  // registered-output structure that makes the paper's circuits
+  // retimable for performance (a Mealy machine's pure PI->PO
+  // combinational paths cannot be shortened by any retiming).
+  std::vector<std::string> state_output(static_cast<size_t>(num_states));
+  for (int s = 0; s < num_states; ++s) {
+    std::string& out = state_output[static_cast<size_t>(s)];
+    out.resize(static_cast<size_t>(num_outputs));
+    for (int o = 0; o < num_outputs; ++o) {
+      out[static_cast<size_t>(o)] = rng.Next() & 1 ? '1' : '0';
+    }
+  }
+  // Per state, 2^b transition cubes distinguished by the first b input
+  // bits; the remaining inputs are don't-cares, mirroring the sparse
+  // cube structure of real KISS benchmarks.
+  const int decision_bits = std::min(num_inputs, 3);
+  const int cubes = 1 << decision_bits;
+  for (int s = 0; s < num_states; ++s) {
+    for (int c = 0; c < cubes; ++c) {
+      Transition t;
+      t.input.assign(static_cast<size_t>(num_inputs), '-');
+      for (int b = 0; b < decision_bits; ++b) {
+        t.input[static_cast<size_t>(b)] = (c >> b) & 1 ? '1' : '0';
+      }
+      t.from = s;
+      // Cube 0 is a global synchronizing pattern (every state falls
+      // back to state 0, like a controller's idle transition -- and it
+      // makes the synthesized circuits 3-valued synchronizable, as the
+      // real MCNC machines are); cube 1 follows a Hamiltonian ring so
+      // the machine is strongly connected; other cubes jump
+      // pseudo-randomly.
+      if (c == 0) {
+        t.to = 0;
+      } else if (c == 1 % cubes) {
+        t.to = (s + 1) % num_states;
+      } else {
+        t.to = rng.Below(num_states);
+      }
+      t.output = state_output[static_cast<size_t>(s)];
+      fsm.transitions.push_back(std::move(t));
+    }
+  }
+  Validate(fsm);
+  return fsm;
+}
+
+Fsm MakeBenchmarkFsm(const char* name) {
+  for (const BenchmarkInfo& info : PaperFsmTable()) {
+    if (std::strcmp(info.name, name) == 0) {
+      // Seed derived from the name so every benchmark is distinct but
+      // stable across runs and platforms.
+      std::uint64_t seed = 0x243f6a8885a308d3ull;
+      for (const char* p = name; *p; ++p) {
+        seed = seed * 1099511628211ull + static_cast<std::uint64_t>(*p);
+      }
+      return GenerateFsm(info.name, info.num_inputs, info.num_outputs,
+                         info.num_states, seed);
+    }
+  }
+  throw std::invalid_argument(std::string("unknown benchmark FSM '") + name +
+                              "'");
+}
+
+}  // namespace retest::fsm

@@ -1,0 +1,41 @@
+// Stand-ins for the MCNC FSM benchmarks of the paper's Table I.
+//
+// The original MCNC transition tables are not redistributable here, so
+// each benchmark is generated deterministically with exactly the
+// interface of Table I (primary inputs, primary outputs, state count),
+// a strongly-connected transition structure, and seeded pseudo-random
+// but fully reproducible transitions/outputs.  See DESIGN.md §4 for why
+// this substitution preserves the experiments' behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace retest::fsm {
+
+/// One row of the paper's Table I.
+struct BenchmarkInfo {
+  const char* name;
+  int num_inputs;
+  int num_outputs;
+  int num_states;
+  /// True for the FSMs whose synthesized versions employ an explicit
+  /// reset line in the paper (dk16, pma, s510, scf).
+  bool explicit_reset;
+};
+
+/// The six FSMs of Table I, in paper order.
+const std::vector<BenchmarkInfo>& PaperFsmTable();
+
+/// Deterministically generates a complete, strongly-connected FSM with
+/// the given interface.  Same arguments -> same machine.
+Fsm GenerateFsm(const char* name, int num_inputs, int num_outputs,
+                int num_states, std::uint64_t seed);
+
+/// The stand-in for a Table I benchmark by name ("dk16", "pma", "s510",
+/// "s820", "s832", "scf").  Throws on unknown names.
+Fsm MakeBenchmarkFsm(const char* name);
+
+}  // namespace retest::fsm

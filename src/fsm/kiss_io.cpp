@@ -1,0 +1,89 @@
+#include "fsm/kiss_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace retest::fsm {
+
+Fsm ReadKiss(std::istream& in, std::string name) {
+  Fsm fsm;
+  fsm.name = std::move(name);
+  std::string reset_name;
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) {
+    throw std::runtime_error("KISS line " + std::to_string(line_no) + ": " +
+                             message);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto pos = line.find('#'); pos != std::string::npos) {
+      line = line.substr(0, pos);
+    }
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;
+    if (first == ".i") {
+      if (!(tokens >> fsm.num_inputs)) fail("bad .i");
+    } else if (first == ".o") {
+      if (!(tokens >> fsm.num_outputs)) fail("bad .o");
+    } else if (first == ".s" || first == ".p") {
+      int ignored;
+      if (!(tokens >> ignored)) fail("bad " + first);
+    } else if (first == ".r") {
+      if (!(tokens >> reset_name)) fail("bad .r");
+    } else if (first == ".e" || first == ".end") {
+      break;
+    } else if (first[0] == '.') {
+      fail("unknown directive '" + first + "'");
+    } else {
+      Transition t;
+      t.input = first;
+      std::string from_name, to_name;
+      if (!(tokens >> from_name >> to_name >> t.output)) {
+        fail("malformed transition");
+      }
+      t.from = fsm.AddState(from_name);
+      t.to = fsm.AddState(to_name);
+      fsm.transitions.push_back(std::move(t));
+    }
+  }
+  if (!reset_name.empty()) {
+    fsm.reset_state = fsm.AddState(reset_name);
+  }
+  Validate(fsm);
+  return fsm;
+}
+
+Fsm ReadKissString(const std::string& text, std::string name) {
+  std::istringstream in(text);
+  return ReadKiss(in, std::move(name));
+}
+
+void WriteKiss(const Fsm& fsm, std::ostream& out) {
+  out << "# " << fsm.name << "\n";
+  out << ".i " << fsm.num_inputs << "\n";
+  out << ".o " << fsm.num_outputs << "\n";
+  out << ".p " << fsm.transitions.size() << "\n";
+  out << ".s " << fsm.num_states() << "\n";
+  if (fsm.reset_state >= 0) {
+    out << ".r " << fsm.state_names[static_cast<size_t>(fsm.reset_state)]
+        << "\n";
+  }
+  for (const Transition& t : fsm.transitions) {
+    out << t.input << " " << fsm.state_names[static_cast<size_t>(t.from)]
+        << " " << fsm.state_names[static_cast<size_t>(t.to)] << " " << t.output
+        << "\n";
+  }
+  out << ".e\n";
+}
+
+std::string WriteKissString(const Fsm& fsm) {
+  std::ostringstream out;
+  WriteKiss(fsm, out);
+  return out.str();
+}
+
+}  // namespace retest::fsm

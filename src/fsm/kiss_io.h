@@ -1,0 +1,20 @@
+// KISS2 reader/writer (the MCNC FSM benchmark format used by SIS).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fsm/fsm.h"
+
+namespace retest::fsm {
+
+/// Parses a KISS2 description.  Supports .i/.o/.s/.p/.r headers and
+/// transition lines "input from to output"; '.e' ends the body.
+Fsm ReadKiss(std::istream& in, std::string name = "kiss");
+Fsm ReadKissString(const std::string& text, std::string name = "kiss");
+
+/// Serializes to KISS2 text (round-trips with ReadKiss).
+void WriteKiss(const Fsm& fsm, std::ostream& out);
+std::string WriteKissString(const Fsm& fsm);
+
+}  // namespace retest::fsm

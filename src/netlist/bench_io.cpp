@@ -1,0 +1,241 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace retest::netlist {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<NodeKind> KindFromString(std::string token) {
+  std::transform(token.begin(), token.end(), token.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  static const std::map<std::string, NodeKind> kMap = {
+      {"AND", NodeKind::kAnd},   {"NAND", NodeKind::kNand},
+      {"OR", NodeKind::kOr},     {"NOR", NodeKind::kNor},
+      {"XOR", NodeKind::kXor},   {"XNOR", NodeKind::kXnor},
+      {"NOT", NodeKind::kNot},   {"INV", NodeKind::kNot},
+      {"BUF", NodeKind::kBuf},   {"BUFF", NodeKind::kBuf},
+      {"DFF", NodeKind::kDff},   {"CONST0", NodeKind::kConst0},
+      {"CONST1", NodeKind::kConst1}};
+  auto it = kMap.find(token);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+struct PendingGate {
+  std::string name;
+  NodeKind kind;
+  std::vector<std::string> fanin;
+  int line;
+};
+
+[[noreturn]] void Fail(int line, const std::string& message) {
+  throw std::runtime_error(".bench line " + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+Circuit ReadBench(std::istream& in, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_nets;
+  std::vector<PendingGate> gates;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    if (auto pos = line.find('#'); pos != std::string::npos) {
+      line = line.substr(0, pos);
+    }
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    auto parse_paren = [&](size_t open) -> std::vector<std::string> {
+      size_t close = line.rfind(')');
+      if (close == std::string::npos || close < open) {
+        Fail(line_no, "missing ')'");
+      }
+      std::string args = line.substr(open + 1, close - open - 1);
+      std::vector<std::string> parts;
+      std::stringstream ss(args);
+      std::string part;
+      while (std::getline(ss, part, ',')) {
+        part = Trim(part);
+        if (part.empty()) Fail(line_no, "empty argument");
+        parts.push_back(part);
+      }
+      return parts;
+    };
+
+    if (line.rfind("INPUT", 0) == 0 && line.find('=') == std::string::npos) {
+      auto args = parse_paren(line.find('('));
+      if (args.size() != 1) Fail(line_no, "INPUT takes one name");
+      input_names.push_back(args[0]);
+      continue;
+    }
+    if (line.rfind("OUTPUT", 0) == 0 && line.find('=') == std::string::npos) {
+      auto args = parse_paren(line.find('('));
+      if (args.size() != 1) Fail(line_no, "OUTPUT takes one name");
+      output_nets.push_back(args[0]);
+      continue;
+    }
+
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) Fail(line_no, "expected '='");
+    std::string name = Trim(line.substr(0, eq));
+    std::string rhs = Trim(line.substr(eq + 1));
+    if (name.empty()) Fail(line_no, "missing net name");
+
+    size_t open = rhs.find('(');
+    std::string kind_token = Trim(open == std::string::npos ? rhs : rhs.substr(0, open));
+    auto kind = KindFromString(kind_token);
+    if (!kind) Fail(line_no, "unknown gate type '" + kind_token + "'");
+
+    PendingGate gate;
+    gate.name = name;
+    gate.kind = *kind;
+    gate.line = line_no;
+    if (open != std::string::npos) {
+      size_t close = rhs.rfind(')');
+      if (close == std::string::npos) Fail(line_no, "missing ')'");
+      std::string args = rhs.substr(open + 1, close - open - 1);
+      std::stringstream ss(args);
+      std::string part;
+      while (std::getline(ss, part, ',')) {
+        part = Trim(part);
+        if (part.empty()) Fail(line_no, "empty fanin");
+        gate.fanin.push_back(part);
+      }
+    }
+    gates.push_back(std::move(gate));
+  }
+
+  Circuit circuit(std::move(circuit_name));
+  for (const std::string& name : input_names) {
+    circuit.Add(NodeKind::kInput, name);
+  }
+  // DFFs first (their Q may be referenced before their D is defined).
+  for (const PendingGate& gate : gates) {
+    if (gate.kind == NodeKind::kDff) {
+      if (gate.fanin.size() != 1) Fail(gate.line, "DFF takes one fanin");
+      circuit.Add(NodeKind::kDff, gate.name);
+    }
+  }
+  // Combinational gates in dependency order (iterate until fixpoint).
+  std::vector<bool> placed(gates.size(), false);
+  size_t remaining = 0;
+  for (size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].kind != NodeKind::kDff) ++remaining;
+  }
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (size_t i = 0; i < gates.size(); ++i) {
+      if (placed[i] || gates[i].kind == NodeKind::kDff) continue;
+      bool ready = true;
+      for (const std::string& in : gates[i].fanin) {
+        if (circuit.Find(in) == kNoNode) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      std::vector<NodeId> fanin;
+      for (const std::string& in : gates[i].fanin) {
+        fanin.push_back(circuit.Find(in));
+      }
+      circuit.Add(gates[i].kind, gates[i].name, std::move(fanin));
+      placed[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (size_t i = 0; i < gates.size(); ++i) {
+      if (!placed[i] && gates[i].kind != NodeKind::kDff) {
+        Fail(gates[i].line,
+             "combinational cycle or undefined fanin at '" + gates[i].name +
+                 "'");
+      }
+    }
+  }
+  // Close DFF data inputs.
+  for (const PendingGate& gate : gates) {
+    if (gate.kind != NodeKind::kDff) continue;
+    const NodeId q = circuit.Find(gate.name);
+    const NodeId d = circuit.Find(gate.fanin[0]);
+    if (d == kNoNode) Fail(gate.line, "undefined DFF fanin '" + gate.fanin[0] + "'");
+    circuit.AddPin(q, d);
+  }
+  // Output pins.
+  for (const std::string& net : output_nets) {
+    const NodeId driver = circuit.Find(net);
+    if (driver == kNoNode) {
+      throw std::runtime_error(".bench: OUTPUT(" + net + ") is undefined");
+    }
+    circuit.Add(NodeKind::kOutput, net + "$po", {driver});
+  }
+  return circuit;
+}
+
+Circuit ReadBenchString(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return ReadBench(in, std::move(circuit_name));
+}
+
+void WriteBench(const Circuit& circuit, std::ostream& out) {
+  out << "# " << circuit.name() << "\n";
+  for (NodeId id : circuit.inputs()) {
+    out << "INPUT(" << circuit.node(id).name << ")\n";
+  }
+  for (NodeId id : circuit.outputs()) {
+    const Node& po = circuit.node(id);
+    out << "OUTPUT(" << circuit.node(po.fanin[0]).name << ")\n";
+  }
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    switch (node.kind) {
+      case NodeKind::kInput:
+      case NodeKind::kOutput:
+        break;
+      case NodeKind::kConst0:
+        out << node.name << " = CONST0\n";
+        break;
+      case NodeKind::kConst1:
+        out << node.name << " = CONST1\n";
+        break;
+      default: {
+        out << node.name << " = " << ToString(node.kind) << "(";
+        for (size_t i = 0; i < node.fanin.size(); ++i) {
+          if (i) out << ", ";
+          out << circuit.node(node.fanin[i]).name;
+        }
+        out << ")\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string WriteBenchString(const Circuit& circuit) {
+  std::ostringstream out;
+  WriteBench(circuit, out);
+  return out.str();
+}
+
+}  // namespace retest::netlist

@@ -1,0 +1,36 @@
+// Reader/writer for an ISCAS89-style ".bench" netlist format.
+//
+// Grammar (one statement per line, '#' starts a comment):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)     GATE in {AND,NAND,OR,NOR,XOR,XNOR,NOT,BUF,DFF}
+//   name = CONST0 | CONST1
+//
+// OUTPUT(name) references a net defined elsewhere; a synthetic output
+// pin node named "name$po" is created internally so net names stay
+// unique, and the writer undoes this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace retest::netlist {
+
+/// Parses a circuit from .bench text.  Throws std::runtime_error with a
+/// line number on malformed input.
+Circuit ReadBench(std::istream& in, std::string circuit_name = "bench");
+
+/// Convenience overload parsing from a string.
+Circuit ReadBenchString(const std::string& text,
+                        std::string circuit_name = "bench");
+
+/// Serializes a circuit to .bench text.  Round-trips with ReadBench up
+/// to node ordering.
+void WriteBench(const Circuit& circuit, std::ostream& out);
+
+/// Convenience overload returning a string.
+std::string WriteBenchString(const Circuit& circuit);
+
+}  // namespace retest::netlist

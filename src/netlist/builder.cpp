@@ -1,0 +1,83 @@
+#include "netlist/builder.h"
+
+#include <stdexcept>
+
+namespace retest::netlist {
+
+NodeId Builder::Require(const std::string& name) const {
+  const NodeId id = circuit_.Find(name);
+  if (id == kNoNode) {
+    throw std::invalid_argument("Builder: unknown net '" + name + "' in '" +
+                                circuit_.name() + "'");
+  }
+  return id;
+}
+
+Builder& Builder::Input(const std::string& name) {
+  circuit_.Add(NodeKind::kInput, name);
+  return *this;
+}
+
+Builder& Builder::Output(const std::string& name, const std::string& from) {
+  circuit_.Add(NodeKind::kOutput, name, {Require(from)});
+  return *this;
+}
+
+Builder& Builder::Dff(const std::string& q_name, const std::string& from) {
+  if (from.empty()) {
+    // Feedback DFF: temporarily self-driven; must be completed via
+    // SetDffInput before Build().
+    const NodeId id = circuit_.Add(NodeKind::kDff, q_name, {});
+    pending_dffs_.push_back(id);
+    return *this;
+  }
+  circuit_.Add(NodeKind::kDff, q_name, {Require(from)});
+  return *this;
+}
+
+Builder& Builder::SetDffInput(const std::string& q_name,
+                              const std::string& from) {
+  const NodeId id = Require(q_name);
+  if (circuit_.node(id).kind != NodeKind::kDff) {
+    throw std::invalid_argument("SetDffInput: '" + q_name + "' is not a DFF");
+  }
+  const NodeId driver = Require(from);
+  if (circuit_.node(id).fanin.empty()) {
+    circuit_.AddPin(id, driver);
+    for (auto it = pending_dffs_.begin(); it != pending_dffs_.end(); ++it) {
+      if (*it == id) {
+        pending_dffs_.erase(it);
+        break;
+      }
+    }
+  } else {
+    circuit_.Rewire(id, 0, driver);
+  }
+  return *this;
+}
+
+Builder& Builder::Gate(NodeKind kind, const std::string& name,
+                       std::initializer_list<std::string> fanin) {
+  return Gate(kind, name, std::vector<std::string>(fanin));
+}
+
+Builder& Builder::Gate(NodeKind kind, const std::string& name,
+                       const std::vector<std::string>& fanin) {
+  if (!IsGate(kind)) throw std::invalid_argument("Gate: kind is not a gate");
+  std::vector<NodeId> ids;
+  ids.reserve(fanin.size());
+  for (const std::string& in : fanin) ids.push_back(Require(in));
+  circuit_.Add(kind, name, std::move(ids));
+  return *this;
+}
+
+Circuit Builder::Build() {
+  if (!pending_dffs_.empty()) {
+    throw std::logic_error("Builder: DFF '" +
+                           circuit_.node(pending_dffs_.front()).name +
+                           "' was never given a data input");
+  }
+  return std::move(circuit_);
+}
+
+}  // namespace retest::netlist

@@ -1,0 +1,78 @@
+// Fluent helper for constructing circuits in examples and tests.
+//
+// Builder wraps a Circuit and offers name-based gate constructors so the
+// paper's small example circuits (Figs. 2, 3 and 5) can be written down
+// almost verbatim.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace retest::netlist {
+
+/// Incrementally builds a Circuit by net name.  All referenced fanin
+/// names must already exist; this forces construction in topological
+/// order, with DFFs declared first via Dff() and wired later via
+/// SetDffInput() to allow feedback.
+class Builder {
+ public:
+  explicit Builder(std::string circuit_name) : circuit_(std::move(circuit_name)) {}
+
+  /// Declares a primary input.
+  Builder& Input(const std::string& name);
+
+  /// Declares a primary output pin fed by net `from`.
+  Builder& Output(const std::string& name, const std::string& from);
+
+  /// Declares a DFF whose data input will be set later (feedback), or
+  /// immediately when `from` is given.
+  Builder& Dff(const std::string& q_name, const std::string& from = "");
+
+  /// Wires the data input of a previously declared DFF.
+  Builder& SetDffInput(const std::string& q_name, const std::string& from);
+
+  /// Adds a combinational gate driving net `name`.
+  Builder& Gate(NodeKind kind, const std::string& name,
+                std::initializer_list<std::string> fanin);
+  Builder& Gate(NodeKind kind, const std::string& name,
+                const std::vector<std::string>& fanin);
+
+  Builder& And(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kAnd, name, in);
+  }
+  Builder& Nand(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kNand, name, in);
+  }
+  Builder& Or(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kOr, name, in);
+  }
+  Builder& Nor(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kNor, name, in);
+  }
+  Builder& Xor(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kXor, name, in);
+  }
+  Builder& Xnor(const std::string& name, std::initializer_list<std::string> in) {
+    return Gate(NodeKind::kXnor, name, in);
+  }
+  Builder& Not(const std::string& name, const std::string& in) {
+    return Gate(NodeKind::kNot, name, {in});
+  }
+  Builder& Buf(const std::string& name, const std::string& in) {
+    return Gate(NodeKind::kBuf, name, {in});
+  }
+
+  /// Finishes construction; verifies every DFF got a data input.
+  Circuit Build();
+
+ private:
+  NodeId Require(const std::string& name) const;
+
+  Circuit circuit_;
+  std::vector<NodeId> pending_dffs_;
+};
+
+}  // namespace retest::netlist

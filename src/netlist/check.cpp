@@ -1,0 +1,98 @@
+#include "netlist/check.h"
+
+#include <stdexcept>
+
+namespace retest::netlist {
+namespace {
+
+void CheckArity(const Circuit& circuit, CheckResult& result) {
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    const size_t n = node.fanin.size();
+    bool ok = true;
+    switch (node.kind) {
+      case NodeKind::kInput:
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+        ok = (n == 0);
+        break;
+      case NodeKind::kOutput:
+      case NodeKind::kDff:
+      case NodeKind::kBuf:
+      case NodeKind::kNot:
+        ok = (n == 1);
+        break;
+      default:
+        ok = (n >= 1);
+        break;
+    }
+    if (!ok) {
+      result.errors.push_back("node '" + node.name + "' (" +
+                              std::string(ToString(node.kind)) + ") has " +
+                              std::to_string(n) + " fanins");
+    }
+    for (NodeId driver : node.fanin) {
+      if (driver < 0 || driver >= circuit.size()) {
+        result.errors.push_back("node '" + node.name +
+                                "' has out-of-range fanin");
+      } else if (circuit.node(driver).kind == NodeKind::kOutput) {
+        result.errors.push_back("node '" + node.name +
+                                "' is driven by an OUTPUT pin");
+      }
+    }
+  }
+}
+
+// DFS over combinational edges only (edges into DFF data pins are cut).
+void CheckCombinationalAcyclic(const Circuit& circuit, CheckResult& result) {
+  enum class Mark : char { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(static_cast<size_t>(circuit.size()), Mark::kWhite);
+  // Iterative DFS to survive deep circuits.
+  for (NodeId root = 0; root < circuit.size(); ++root) {
+    if (mark[static_cast<size_t>(root)] != Mark::kWhite) continue;
+    std::vector<std::pair<NodeId, size_t>> stack{{root, 0}};
+    mark[static_cast<size_t>(root)] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const Node& node = circuit.node(id);
+      // A DFF's fanin edge is sequential, not combinational.
+      if (node.kind == NodeKind::kDff || next >= node.fanin.size()) {
+        mark[static_cast<size_t>(id)] = Mark::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const NodeId child = node.fanin[next++];
+      switch (mark[static_cast<size_t>(child)]) {
+        case Mark::kWhite:
+          mark[static_cast<size_t>(child)] = Mark::kGray;
+          stack.push_back({child, 0});
+          break;
+        case Mark::kGray:
+          result.errors.push_back("combinational cycle through '" +
+                                  circuit.node(child).name + "'");
+          return;
+        case Mark::kBlack:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult Check(const Circuit& circuit) {
+  CheckResult result;
+  CheckArity(circuit, result);
+  if (result.ok()) CheckCombinationalAcyclic(circuit, result);
+  return result;
+}
+
+void CheckOrThrow(const Circuit& circuit) {
+  const CheckResult result = Check(circuit);
+  if (result.ok()) return;
+  std::string message = "circuit '" + circuit.name() + "' is malformed:";
+  for (const std::string& error : result.errors) message += "\n  " + error;
+  throw std::runtime_error(message);
+}
+
+}  // namespace retest::netlist

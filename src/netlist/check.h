@@ -1,0 +1,25 @@
+// Structural validity checks for circuits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace retest::netlist {
+
+/// Result of a structural check: empty `errors` means the circuit is
+/// well-formed (arities match kinds, the combinational part is acyclic,
+/// i.e. every feedback loop passes through a DFF).
+struct CheckResult {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Runs all structural checks on `circuit`.
+CheckResult Check(const Circuit& circuit);
+
+/// Throws std::runtime_error listing the problems unless Check passes.
+void CheckOrThrow(const Circuit& circuit);
+
+}  // namespace retest::netlist

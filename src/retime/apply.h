@@ -1,0 +1,31 @@
+// Applies a retiming to produce the retimed netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "retime/from_netlist.h"
+#include "retime/graph.h"
+
+namespace retest::retime {
+
+/// The retimed circuit plus bookkeeping for fault correspondence.
+struct ApplyResult {
+  netlist::Circuit circuit;
+  /// For each graph edge, the fault sites of its line segments in the
+  /// *retimed* circuit, from `from` to `to`.  A segment can carry more
+  /// than one site (a zero-weight stem-to-stem edge materializes as a
+  /// buffer whose input branch and output stem are the same line).
+  std::vector<std::vector<std::vector<fault::Site>>> segments;
+};
+
+/// Rebuilds a netlist from `build.graph` with edge weights retimed by
+/// `retiming`.  Gate/PI/PO/constant nodes keep their original names;
+/// registers are regenerated as fresh DFF chains.  The retiming must be
+/// legal.  `name` names the new circuit (default: original + ".re").
+ApplyResult ApplyRetiming(const netlist::Circuit& original,
+                          const BuildResult& build, const Retiming& retiming,
+                          std::string name = "");
+
+}  // namespace retest::retime

@@ -1,0 +1,162 @@
+#include "retime/from_netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/check.h"
+
+namespace retest::retime {
+namespace {
+
+using netlist::Circuit;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+/// A reader of a net: a specific fanin pin of a node.
+struct Consumer {
+  NodeId node;
+  int pin;
+};
+
+std::vector<Consumer> ConsumersOf(const Circuit& circuit, NodeId driver) {
+  // The fanout list holds a sink once per connected pin, so visit each
+  // distinct sink once and enumerate its matching pins.
+  std::vector<Consumer> consumers;
+  std::vector<NodeId> seen;
+  for (NodeId sink : circuit.node(driver).fanout) {
+    if (std::find(seen.begin(), seen.end(), sink) != seen.end()) continue;
+    seen.push_back(sink);
+    const Node& node = circuit.node(sink);
+    for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+      if (node.fanin[pin] == driver) {
+        consumers.push_back({sink, static_cast<int>(pin)});
+      }
+    }
+  }
+  return consumers;
+}
+
+struct TraceState {
+  const Circuit* circuit;
+  BuildResult* result;
+  int stem_counter = 0;
+};
+
+// Walks the signal fanning out of `driver` (a net in the source
+// netlist), starting from graph vertex `from`, having already crossed
+// `weight` DFFs whose line segments are `segments`.
+void Trace(TraceState& state, VertexId from, NodeId driver, int weight,
+           std::vector<fault::Site> segments) {
+  const Circuit& circuit = *state.circuit;
+  auto consumers = ConsumersOf(circuit, driver);
+  if (consumers.empty()) return;  // dangling net
+
+  if (consumers.size() == 1) {
+    const Consumer c = consumers.front();
+    if (circuit.node(c.node).kind == NodeKind::kDff) {
+      segments.push_back({c.node, -1});
+      Trace(state, from, c.node, weight + 1, std::move(segments));
+      return;
+    }
+    Edge edge;
+    edge.from = from;
+    edge.to = state.result->vertex_of_node[static_cast<size_t>(c.node)];
+    edge.weight = weight;
+    edge.sink_pin = c.pin;
+    edge.segments = std::move(segments);
+    state.result->graph.AddEdge(std::move(edge));
+    return;
+  }
+
+  // Fanout: introduce a stem vertex, then trace each branch.
+  Vertex stem;
+  stem.kind = VertexKind::kStem;
+  stem.delay = 0;
+  stem.name = "stem:" + circuit.node(driver).name;
+  const VertexId t = state.result->graph.AddVertex(std::move(stem));
+  Edge trunk;
+  trunk.from = from;
+  trunk.to = t;
+  trunk.weight = weight;
+  trunk.segments = std::move(segments);
+  state.result->graph.AddEdge(std::move(trunk));
+
+  for (const Consumer& c : consumers) {
+    if (circuit.node(c.node).kind == NodeKind::kDff) {
+      std::vector<fault::Site> branch_segments{{c.node, c.pin}, {c.node, -1}};
+      Trace(state, t, c.node, 1, std::move(branch_segments));
+    } else {
+      Edge branch;
+      branch.from = t;
+      branch.to = state.result->vertex_of_node[static_cast<size_t>(c.node)];
+      branch.weight = 0;
+      branch.sink_pin = c.pin;
+      branch.segments = {{c.node, c.pin}};
+      state.result->graph.AddEdge(std::move(branch));
+    }
+  }
+}
+
+}  // namespace
+
+BuildResult BuildGraph(const Circuit& circuit, DelayModel delay_model) {
+  netlist::CheckOrThrow(circuit);
+  BuildResult result;
+  result.vertex_of_node.assign(static_cast<size_t>(circuit.size()), -1);
+
+  // Vertices for every non-DFF node.
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    Vertex vertex;
+    vertex.origin = id;
+    vertex.name = node.name;
+    switch (node.kind) {
+      case NodeKind::kDff:
+        continue;
+      case NodeKind::kInput:
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+        vertex.kind = VertexKind::kPi;  // lag-pinned zero-delay source
+        vertex.delay = 0;
+        break;
+      case NodeKind::kOutput:
+        vertex.kind = VertexKind::kPo;
+        vertex.delay = 0;
+        break;
+      default:
+        vertex.kind = VertexKind::kGate;
+        vertex.delay = delay_model == DelayModel::kUnit
+                           ? 1
+                           : static_cast<int>(node.fanin.size());
+        break;
+    }
+    result.vertex_of_node[static_cast<size_t>(id)] =
+        result.graph.AddVertex(std::move(vertex));
+  }
+
+  // Trace every source's output; DFF chains fold into edge weights.  A
+  // DFF fed (transitively) only by DFFs would never be reached: detect
+  // below.
+  TraceState state{&circuit, &result};
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (node.kind == NodeKind::kDff || node.kind == NodeKind::kOutput) {
+      continue;
+    }
+    if (result.vertex_of_node[static_cast<size_t>(id)] < 0) continue;
+    Trace(state, result.vertex_of_node[static_cast<size_t>(id)], id, 0,
+          {{id, -1}});
+  }
+
+  // Sanity: every DFF must have been absorbed into exactly one edge.
+  long weight_sum = result.graph.TotalRegisters();
+  if (weight_sum != circuit.num_dffs()) {
+    throw std::runtime_error(
+        "BuildGraph: register loop without gate, or dangling register, in '" +
+        circuit.name() + "'");
+  }
+  return result;
+}
+
+}  // namespace retest::retime

@@ -1,0 +1,33 @@
+// Netlist -> retiming-graph conversion.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "retime/graph.h"
+
+namespace retest::retime {
+
+/// A retiming graph plus the netlist<->graph bookkeeping needed to
+/// apply a retiming back to a netlist and to build fault
+/// correspondences.
+struct BuildResult {
+  Graph graph;
+  /// Vertex of each netlist node; kNoNode-mapped entries (-1) are DFFs
+  /// (absorbed into edge weights).
+  std::vector<VertexId> vertex_of_node;
+};
+
+/// Builds the retiming graph of `circuit`.
+///
+/// DFF chains become edge weights; every net with two or more readers
+/// becomes a kStem vertex (cascaded stems appear when a DFF output fans
+/// out again).  Each edge records the fault sites of its w+1 line
+/// segments in `circuit`.  Constant nodes are modelled as zero-delay
+/// lag-pinned sources (registers are not moved across constants, which
+/// keeps state equivalence exact).  Throws on a register loop that
+/// passes through no gate.
+BuildResult BuildGraph(const netlist::Circuit& circuit,
+                       DelayModel delay_model = DelayModel::kUnit);
+
+}  // namespace retest::retime

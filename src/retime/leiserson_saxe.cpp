@@ -1,0 +1,108 @@
+#include "retime/leiserson_saxe.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retest::retime {
+namespace {
+
+/// Computes Delta(v): the longest-path delay ending at v over edges
+/// with retimed weight zero.  Returns false if the zero-weight subgraph
+/// is cyclic (lags illegal as a synchronous circuit).
+bool ComputeArrival(const Graph& graph, const std::vector<int>& lags,
+                    std::vector<int>& arrival) {
+  const size_t n = graph.vertices.size();
+  arrival.assign(n, 0);
+  std::vector<int> pending(n, 0);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    if (graph.RetimedWeight(e, lags) == 0) {
+      ++pending[static_cast<size_t>(graph.edges[static_cast<size_t>(e)].to)];
+    }
+  }
+  std::vector<VertexId> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (pending[v] == 0) {
+      ready.push_back(static_cast<VertexId>(v));
+      arrival[v] = graph.vertices[v].delay;
+    }
+  }
+  size_t processed = 0;
+  while (!ready.empty()) {
+    const VertexId v = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (int e : graph.out_edges[static_cast<size_t>(v)]) {
+      if (graph.RetimedWeight(e, lags) != 0) continue;
+      const VertexId to = graph.edges[static_cast<size_t>(e)].to;
+      arrival[static_cast<size_t>(to)] = std::max(
+          arrival[static_cast<size_t>(to)],
+          arrival[static_cast<size_t>(v)] +
+              graph.vertices[static_cast<size_t>(to)].delay);
+      if (--pending[static_cast<size_t>(to)] == 0) ready.push_back(to);
+    }
+  }
+  return processed == n;
+}
+
+}  // namespace
+
+std::optional<Retiming> Feasible(const Graph& graph, int phi) {
+  const size_t n = graph.vertices.size();
+  std::vector<int> lags(n, 0);
+  std::vector<int> arrival;
+  // FEAS: |V| - 1 relaxation passes.
+  for (int pass = 0; pass < graph.num_vertices() - 1; ++pass) {
+    if (!ComputeArrival(graph, lags, arrival)) return std::nullopt;
+    bool changed = false;
+    for (size_t v = 0; v < n; ++v) {
+      if (arrival[v] <= phi) continue;
+      const VertexKind kind = graph.vertices[v].kind;
+      if (kind == VertexKind::kPi || kind == VertexKind::kPo ||
+          graph.out_edges[v].empty() || graph.in_edges[v].empty()) {
+        // An I/O pin (or a dangling vertex) can never be retimed; a
+        // path ending here that is too long can only be shortened by
+        // retiming its predecessors, which FEAS will attempt on later
+        // passes -- do not increment.
+        continue;
+      }
+      ++lags[v];
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  if (!ComputeArrival(graph, lags, arrival)) return std::nullopt;
+  for (size_t v = 0; v < n; ++v) {
+    if (arrival[v] > phi) return std::nullopt;
+  }
+  if (!graph.IsLegal(lags)) return std::nullopt;
+  return Retiming{std::move(lags)};
+}
+
+MinPeriodResult MinimizePeriod(const Graph& graph) {
+  MinPeriodResult result;
+  result.original_period = graph.ClockPeriod();
+
+  int lo = 0;
+  for (const Vertex& vertex : graph.vertices) lo = std::max(lo, vertex.delay);
+  int hi = result.original_period;
+  std::optional<Retiming> best = Feasible(graph, hi);
+  if (!best) {
+    // The as-built weights achieve `hi`, so this cannot happen.
+    throw std::runtime_error("MinimizePeriod: original period infeasible");
+  }
+  int best_phi = hi;
+  while (lo < best_phi) {
+    const int mid = lo + (best_phi - lo) / 2;
+    if (auto r = Feasible(graph, mid)) {
+      best = std::move(r);
+      best_phi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.retiming = std::move(*best);
+  result.period = graph.ClockPeriod(result.retiming.lags);
+  return result;
+}
+
+}  // namespace retest::retime

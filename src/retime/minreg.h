@@ -1,0 +1,34 @@
+// Register-count-reducing retiming (greedy hill climbing).
+//
+// Leiserson-Saxe solve min-register retiming exactly as a min-cost
+// flow; here a greedy legal-single-move descent is used instead.  It is
+// a heuristic, but on circuits whose registers were smeared into the
+// logic by min-period retiming it reliably pulls them back together,
+// which is all the paper's "retime for testability" step (Fig. 6)
+// needs.
+#pragma once
+
+#include <optional>
+
+#include "retime/graph.h"
+
+namespace retest::retime {
+
+/// Result of register minimization.
+struct MinRegResult {
+  Retiming retiming;
+  long original_registers = 0;
+  long registers = 0;
+  int period = 0;  ///< Clock period after retiming.
+};
+
+/// Greedily applies single backward/forward retiming moves that reduce
+/// the total register count, until no improving legal move remains.
+/// When `max_period` is set, moves that would push the clock period
+/// beyond it are rejected.  `start` (optional) seeds the search from an
+/// existing legal retiming instead of the identity.
+MinRegResult MinimizeRegisters(const Graph& graph,
+                               std::optional<int> max_period = std::nullopt,
+                               const Retiming* start = nullptr);
+
+}  // namespace retest::retime

@@ -1,0 +1,110 @@
+#include "retime/moves.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retest::retime {
+
+MoveCounts CountMoves(const Graph& graph, const Retiming& retiming) {
+  MoveCounts counts;
+  for (size_t v = 0; v < graph.vertices.size(); ++v) {
+    const int lag = retiming.lags[v];
+    const bool stem = graph.vertices[v].kind == VertexKind::kStem;
+    if (lag > 0) {
+      counts.max_backward_any = std::max(counts.max_backward_any, lag);
+      if (stem) counts.max_backward_stem = std::max(counts.max_backward_stem, lag);
+    } else if (lag < 0) {
+      counts.max_forward_any = std::max(counts.max_forward_any, -lag);
+      if (stem) counts.max_forward_stem = std::max(counts.max_forward_stem, -lag);
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<std::vector<int>>> SegmentCorrespondence(
+    const Graph& graph, const Retiming& retiming) {
+  if (!graph.IsLegal(retiming.lags)) {
+    throw std::invalid_argument("SegmentCorrespondence: illegal retiming");
+  }
+  // Each edge starts with its original segments; segments carry the set
+  // of original indices they correspond to.  Atomic moves merge or
+  // split segments at the edge ends.
+  std::vector<std::vector<std::vector<int>>> segments(
+      static_cast<size_t>(graph.num_edges()));
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const int w = graph.edges[static_cast<size_t>(e)].weight;
+    auto& list = segments[static_cast<size_t>(e)];
+    list.resize(static_cast<size_t>(w) + 1);
+    for (int i = 0; i <= w; ++i) list[static_cast<size_t>(i)] = {i};
+  }
+
+  auto merge_sorted = [](std::vector<int>& a, const std::vector<int>& b) {
+    std::vector<int> merged;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(merged));
+    a = std::move(merged);
+  };
+
+  std::vector<int> residual = retiming.lags;
+  // Greedy schedule: apply any currently-legal move until done.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t v = 0; v < graph.vertices.size(); ++v) {
+      while (residual[v] != 0) {
+        const int direction = residual[v] > 0 ? +1 : -1;
+        // Backward (+1): each out-edge loses its register next to v
+        // (merge first two segments), each in-edge gains one next to v
+        // (split the last segment).  Forward (-1) is the mirror image.
+        const auto& donors = direction > 0 ? graph.out_edges[v]
+                                           : graph.in_edges[v];
+        bool legal = true;
+        for (int e : donors) {
+          if (segments[static_cast<size_t>(e)].size() < 2) {
+            legal = false;
+            break;
+          }
+        }
+        if (!legal) break;
+        for (int e : donors) {
+          auto& list = segments[static_cast<size_t>(e)];
+          if (direction > 0) {
+            merge_sorted(list[1], list[0]);
+            list.erase(list.begin());
+          } else {
+            merge_sorted(list[list.size() - 2], list.back());
+            list.pop_back();
+          }
+        }
+        const auto& receivers = direction > 0 ? graph.in_edges[v]
+                                              : graph.out_edges[v];
+        for (int e : receivers) {
+          auto& list = segments[static_cast<size_t>(e)];
+          if (direction > 0) {
+            list.push_back(list.back());  // split last segment
+          } else {
+            list.insert(list.begin(), list.front());  // split first
+          }
+        }
+        residual[v] -= direction;
+        progress = true;
+      }
+    }
+  }
+  for (size_t v = 0; v < graph.vertices.size(); ++v) {
+    if (residual[v] != 0) {
+      throw std::runtime_error(
+          "SegmentCorrespondence: no legal atomic-move schedule");
+    }
+  }
+  // Sanity: segment counts must match retimed weights.
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const int w = graph.RetimedWeight(e, retiming.lags);
+    if (static_cast<int>(segments[static_cast<size_t>(e)].size()) != w + 1) {
+      throw std::logic_error("SegmentCorrespondence: weight mismatch");
+    }
+  }
+  return segments;
+}
+
+}  // namespace retest::retime

@@ -1,0 +1,46 @@
+// Atomic-move accounting for a retiming.
+//
+// A legal retiming with lags r decomposes into |r(v)| atomic moves per
+// vertex: r(v) > 0 backward moves, r(v) < 0 forward moves (paper
+// Section III).  The prefix length of Theorems 2-4 and the tightened
+// bounds of Lemma 2 are read off these counts; the per-edge segment
+// correspondence of Fig. 4 falls out of simulating a legal schedule of
+// the moves.
+#pragma once
+
+#include <vector>
+
+#include "retime/graph.h"
+
+namespace retest::retime {
+
+/// Forward/backward move maxima over vertex classes.
+struct MoveCounts {
+  int max_forward_any = 0;    ///< F over all nodes (Theorems 3, 4).
+  int max_backward_any = 0;   ///< B over all nodes.
+  int max_forward_stem = 0;   ///< F over fanout stems (Lemma 2, Thm 2).
+  int max_backward_stem = 0;  ///< B over fanout stems (Lemma 2).
+
+  /// Prefix length required by Theorem 4 to preserve a test set.
+  int prefix_length() const { return max_forward_any; }
+  /// N such that the circuits are N-time-equivalent (Lemma 2), using
+  /// the tightened fanout-stem bounds.
+  int time_equivalence_bound() const {
+    return max_forward_stem > max_backward_stem ? max_forward_stem
+                                                : max_backward_stem;
+  }
+};
+
+/// Computes move maxima from the lags of a legal retiming.
+MoveCounts CountMoves(const Graph& graph, const Retiming& retiming);
+
+/// For each edge, maps every *retimed* segment index to the original
+/// segment indices it corresponds to (Fig. 4 relation), computed by
+/// simulating a legal schedule of atomic moves.  Indexing:
+/// result[edge][retimed_segment] = sorted original segment indices.
+/// Throws if no legal schedule exists (cannot happen for legal lags on
+/// a well-formed synchronous graph).
+std::vector<std::vector<std::vector<int>>> SegmentCorrespondence(
+    const Graph& graph, const Retiming& retiming);
+
+}  // namespace retest::retime

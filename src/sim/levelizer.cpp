@@ -1,0 +1,51 @@
+#include "sim/levelizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace retest::sim {
+
+using netlist::Circuit;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+Levelization Levelize(const Circuit& circuit) {
+  const size_t n = static_cast<size_t>(circuit.size());
+  Levelization result;
+  result.level.assign(n, 0);
+  result.order.reserve(n);
+
+  // Kahn's algorithm over combinational edges.  A DFF has no incoming
+  // combinational edges (its data pin is a sink consumed next cycle).
+  std::vector<int> pending(n, 0);
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    pending[static_cast<size_t>(id)] =
+        node.kind == NodeKind::kDff ? 0 : static_cast<int>(node.fanin.size());
+  }
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    if (pending[static_cast<size_t>(id)] == 0) ready.push_back(id);
+  }
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    result.order.push_back(id);
+    for (NodeId sink : circuit.node(id).fanout) {
+      if (circuit.node(sink).kind == NodeKind::kDff) continue;
+      auto& count = pending[static_cast<size_t>(sink)];
+      auto& lvl = result.level[static_cast<size_t>(sink)];
+      lvl = std::max(lvl, result.level[static_cast<size_t>(id)] + 1);
+      if (--count == 0) ready.push_back(sink);
+    }
+  }
+  if (result.order.size() != n) {
+    throw std::runtime_error("Levelize: combinational cycle in circuit '" +
+                             circuit.name() + "'");
+  }
+  for (int lvl : result.level) result.depth = std::max(result.depth, lvl);
+  return result;
+}
+
+}  // namespace retest::sim

@@ -1,0 +1,29 @@
+// Levelization: a topological order of the combinational part.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace retest::sim {
+
+/// Topological ordering data for one-pass combinational evaluation.
+///
+/// `order` lists every node exactly once such that each combinational
+/// gate (and each OUTPUT pin) appears after all of its fanins, with the
+/// convention that DFF *outputs* are sources (their Q value is part of
+/// the present state) and DFF *data inputs* are sinks.  `level[id]`
+/// gives the length of the longest combinational path from any source
+/// to the node (sources have level 0).
+struct Levelization {
+  std::vector<netlist::NodeId> order;
+  std::vector<int> level;
+  /// Maximum level of any node = combinational depth of the circuit.
+  int depth = 0;
+};
+
+/// Computes a levelization.  Requires netlist::Check to pass (throws on
+/// combinational cycles).
+Levelization Levelize(const netlist::Circuit& circuit);
+
+}  // namespace retest::sim

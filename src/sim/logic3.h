@@ -1,0 +1,67 @@
+// Scalar 3-valued logic (0, 1, X).
+//
+// The unknown value X models the unknown initial state of DFFs in
+// circuits without a global reset (paper Section II).  All evaluation
+// is pessimistic in the standard way: X is "could be either".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace retest::sim {
+
+/// A 3-valued logic value.
+enum class V3 : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline char ToChar(V3 v) {
+  switch (v) {
+    case V3::k0: return '0';
+    case V3::k1: return '1';
+    default: return 'x';
+  }
+}
+
+/// Parses '0'/'1' (anything else maps to X).
+inline V3 FromChar(char c) {
+  if (c == '0') return V3::k0;
+  if (c == '1') return V3::k1;
+  return V3::kX;
+}
+
+/// Renders a value vector as a compact string like "01x1".
+std::string ToString(std::span<const V3> values);
+
+/// Parses a string of '0'/'1'/'x' characters.
+std::vector<V3> FromString(const std::string& text);
+
+inline V3 Not3(V3 a) {
+  if (a == V3::kX) return V3::kX;
+  return a == V3::k0 ? V3::k1 : V3::k0;
+}
+
+inline V3 And3(V3 a, V3 b) {
+  if (a == V3::k0 || b == V3::k0) return V3::k0;
+  if (a == V3::k1 && b == V3::k1) return V3::k1;
+  return V3::kX;
+}
+
+inline V3 Or3(V3 a, V3 b) {
+  if (a == V3::k1 || b == V3::k1) return V3::k1;
+  if (a == V3::k0 && b == V3::k0) return V3::k0;
+  return V3::kX;
+}
+
+inline V3 Xor3(V3 a, V3 b) {
+  if (a == V3::kX || b == V3::kX) return V3::kX;
+  return a == b ? V3::k0 : V3::k1;
+}
+
+/// Evaluates a combinational gate of the given kind over 3-valued
+/// fanin values.  `kind` must satisfy netlist::IsGate or be a constant.
+V3 EvalGate3(netlist::NodeKind kind, std::span<const V3> fanin);
+
+}  // namespace retest::sim

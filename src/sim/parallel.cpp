@@ -1,0 +1,120 @@
+#include "sim/parallel.h"
+
+#include <stdexcept>
+
+namespace retest::sim {
+
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+Word3 EvalGate64(NodeKind kind, std::span<const Word3> fanin) {
+  switch (kind) {
+    case NodeKind::kConst0:
+      return Word3::Broadcast(V3::k0);
+    case NodeKind::kConst1:
+      return Word3::Broadcast(V3::k1);
+    case NodeKind::kBuf:
+      return fanin[0];
+    case NodeKind::kNot:
+      return Not64(fanin[0]);
+    case NodeKind::kAnd:
+    case NodeKind::kNand: {
+      Word3 acc = Word3::Broadcast(V3::k1);
+      for (const Word3& w : fanin) acc = And64(acc, w);
+      return kind == NodeKind::kAnd ? acc : Not64(acc);
+    }
+    case NodeKind::kOr:
+    case NodeKind::kNor: {
+      Word3 acc = Word3::Broadcast(V3::k0);
+      for (const Word3& w : fanin) acc = Or64(acc, w);
+      return kind == NodeKind::kOr ? acc : Not64(acc);
+    }
+    case NodeKind::kXor:
+    case NodeKind::kXnor: {
+      Word3 acc = Word3::Broadcast(V3::k0);
+      for (const Word3& w : fanin) acc = Xor64(acc, w);
+      return kind == NodeKind::kXor ? acc : Not64(acc);
+    }
+    default:
+      throw std::invalid_argument("EvalGate64: not a combinational kind");
+  }
+}
+
+ParallelFrame::ParallelFrame(const netlist::Circuit& circuit)
+    : circuit_(&circuit),
+      levels_(Levelize(circuit)),
+      values_(static_cast<size_t>(circuit.size())),
+      by_node_(static_cast<size_t>(circuit.size())) {}
+
+void ParallelFrame::SetInjections(std::span<const Injection> injections) {
+  for (NodeId id : touched_nodes_) by_node_[static_cast<size_t>(id)].clear();
+  touched_nodes_.clear();
+  for (const Injection& inj : injections) {
+    auto& list = by_node_[static_cast<size_t>(inj.node)];
+    if (list.empty()) touched_nodes_.push_back(inj.node);
+    list.push_back(inj);
+  }
+}
+
+void ParallelFrame::Step(std::span<const V3> inputs,
+                         std::vector<Word3>& state) {
+  if (inputs.size() != static_cast<size_t>(circuit_->num_inputs()) ||
+      state.size() != static_cast<size_t>(circuit_->num_dffs())) {
+    throw std::invalid_argument("ParallelFrame::Step: width mismatch");
+  }
+  const auto& pis = circuit_->inputs();
+  for (size_t i = 0; i < pis.size(); ++i) {
+    values_[static_cast<size_t>(pis[i])] = Word3::Broadcast(inputs[i]);
+  }
+  const auto& dffs = circuit_->dffs();
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    values_[static_cast<size_t>(dffs[i])] = state[i];
+  }
+  // Output-stem injections on sources must be applied up front.
+  auto apply_output_injections = [&](NodeId id) {
+    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+      if (inj.pin < 0) values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
+    }
+  };
+  for (NodeId id : touched_nodes_) {
+    const NodeKind kind = circuit_->node(id).kind;
+    if (kind == NodeKind::kInput || kind == NodeKind::kDff) {
+      apply_output_injections(id);
+    }
+  }
+
+  std::vector<Word3> fanin_words;
+  for (NodeId id : levels_.order) {
+    const Node& node = circuit_->node(id);
+    if (node.kind == NodeKind::kInput || node.kind == NodeKind::kDff) continue;
+    fanin_words.clear();
+    for (NodeId driver : node.fanin) {
+      fanin_words.push_back(values_[static_cast<size_t>(driver)]);
+    }
+    // Branch (input-pin) injections modify only this gate's view.
+    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+      if (inj.pin >= 0) {
+        fanin_words[static_cast<size_t>(inj.pin)].SetLane(inj.lane, inj.value);
+      }
+    }
+    Word3 out = node.kind == NodeKind::kOutput
+                    ? fanin_words[0]
+                    : EvalGate64(node.kind, fanin_words);
+    values_[static_cast<size_t>(id)] = out;
+    apply_output_injections(id);
+  }
+
+  // Clock edge.
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    const Node& dff = circuit_->node(dffs[i]);
+    Word3 d = values_[static_cast<size_t>(dff.fanin[0])];
+    // Branch injections on the DFF's data pin.
+    for (const Injection& inj : by_node_[static_cast<size_t>(dffs[i])]) {
+      if (inj.pin >= 0) d.SetLane(inj.lane, inj.value);
+    }
+    state[i] = d;
+  }
+}
+
+}  // namespace retest::sim

@@ -1,0 +1,113 @@
+// 64-way bit-parallel 3-valued logic.
+//
+// A Word3 packs 64 independent 3-valued values: bit i of `one` set
+// means machine i sees 1, bit i of `zero` set means it sees 0, neither
+// means X (both set is invalid).  This is the PROOFS-style engine: one
+// machine word simulates 64 faulty machines at once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/levelizer.h"
+#include "sim/logic3.h"
+
+namespace retest::sim {
+
+/// 64 packed 3-valued values.
+struct Word3 {
+  std::uint64_t one = 0;
+  std::uint64_t zero = 0;
+
+  /// Broadcasts a scalar value to all 64 lanes.
+  static Word3 Broadcast(V3 v) {
+    switch (v) {
+      case V3::k0: return {0, ~0ull};
+      case V3::k1: return {~0ull, 0};
+      default: return {0, 0};
+    }
+  }
+
+  /// Value of lane i.
+  V3 Lane(int i) const {
+    const std::uint64_t m = 1ull << i;
+    if (one & m) return V3::k1;
+    if (zero & m) return V3::k0;
+    return V3::kX;
+  }
+
+  /// Forces lane i to a binary value.
+  void SetLane(int i, bool v) {
+    const std::uint64_t m = 1ull << i;
+    if (v) {
+      one |= m;
+      zero &= ~m;
+    } else {
+      zero |= m;
+      one &= ~m;
+    }
+  }
+
+  friend bool operator==(const Word3&, const Word3&) = default;
+};
+
+inline Word3 Not64(Word3 a) { return {a.zero, a.one}; }
+
+inline Word3 And64(Word3 a, Word3 b) {
+  return {a.one & b.one, a.zero | b.zero};
+}
+
+inline Word3 Or64(Word3 a, Word3 b) { return {a.one | b.one, a.zero & b.zero}; }
+
+inline Word3 Xor64(Word3 a, Word3 b) {
+  return {(a.one & b.zero) | (a.zero & b.one),
+          (a.one & b.one) | (a.zero & b.zero)};
+}
+
+/// Evaluates a combinational gate over 64-way words.
+Word3 EvalGate64(netlist::NodeKind kind, std::span<const Word3> fanin);
+
+/// A forced value at a fault site, applied during frame evaluation.
+/// `pin == -1` forces the node's output (stem fault); `pin >= 0` forces
+/// what the node reads on that fanin branch only.
+struct Injection {
+  netlist::NodeId node = netlist::kNoNode;
+  int pin = -1;
+  bool value = false;  ///< stuck-at value
+  int lane = 0;        ///< which of the 64 machines it applies to
+};
+
+/// One-clock-frame evaluator over 64 parallel machines with fault
+/// injection.  Owns per-node word storage; the caller owns the state.
+class ParallelFrame {
+ public:
+  explicit ParallelFrame(const netlist::Circuit& circuit);
+
+  /// Installs the set of active injections (grouped by node internally).
+  void SetInjections(std::span<const Injection> injections);
+
+  /// Evaluates one frame: seeds PIs with broadcast scalar inputs and
+  /// DFF outputs from `state` (one Word3 per DFF), applies injections,
+  /// and leaves all node values readable via value().  Then latches the
+  /// next state into `state`.
+  void Step(std::span<const V3> inputs, std::vector<Word3>& state);
+
+  /// Word currently on a node's output net.
+  const Word3& value(netlist::NodeId id) const {
+    return values_[static_cast<size_t>(id)];
+  }
+
+  const netlist::Circuit& circuit() const { return *circuit_; }
+
+ private:
+  const netlist::Circuit* circuit_;
+  Levelization levels_;
+  std::vector<Word3> values_;
+  // Injections indexed by node id; empty vectors for untouched nodes.
+  std::vector<std::vector<Injection>> by_node_;
+  std::vector<netlist::NodeId> touched_nodes_;
+};
+
+}  // namespace retest::sim

@@ -1,0 +1,95 @@
+#include "stg/containment.h"
+
+#include <algorithm>
+
+namespace retest::stg {
+
+std::vector<char> StatesAfter(const Stg& machine, int steps) {
+  std::vector<char> current(static_cast<size_t>(machine.num_states()), 1);
+  for (int i = 0; i < steps; ++i) {
+    std::vector<char> next(current.size(), 0);
+    for (int s = 0; s < machine.num_states(); ++s) {
+      if (!current[static_cast<size_t>(s)]) continue;
+      for (int sym = 0; sym < machine.num_symbols(); ++sym) {
+        next[static_cast<size_t>(
+            machine.next[static_cast<size_t>(s)][static_cast<size_t>(sym)])] =
+            1;
+      }
+    }
+    if (next == current) break;  // fixpoint: K_i == K_{i+1} onwards
+    current = std::move(next);
+  }
+  return current;
+}
+
+namespace {
+
+bool ContainsStates(const Stg& k, const Stg& k_prime,
+                    const std::vector<char>& prime_mask) {
+  const JointEquivalence eq = Equivalence(k, k_prime);
+  // Blocks populated by K's states.
+  std::vector<char> k_has(static_cast<size_t>(eq.num_blocks), 0);
+  for (int block : eq.block_a) k_has[static_cast<size_t>(block)] = 1;
+  for (int s = 0; s < k_prime.num_states(); ++s) {
+    if (!prime_mask[static_cast<size_t>(s)]) continue;
+    if (!k_has[static_cast<size_t>(eq.block_b[static_cast<size_t>(s)])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SpaceContains(const Stg& k, const Stg& k_prime) {
+  return ContainsStates(
+      k, k_prime, std::vector<char>(static_cast<size_t>(k_prime.num_states()), 1));
+}
+
+bool SpaceEquivalent(const Stg& k, const Stg& k_prime) {
+  return SpaceContains(k, k_prime) && SpaceContains(k_prime, k);
+}
+
+bool NTimeContains(const Stg& k, const Stg& k_prime, int n) {
+  return ContainsStates(k, k_prime, StatesAfter(k_prime, n));
+}
+
+std::optional<int> SmallestTimeContainment(const Stg& k, const Stg& k_prime,
+                                           int max_n) {
+  for (int n = 0; n <= max_n; ++n) {
+    if (NTimeContains(k, k_prime, n)) return n;
+  }
+  return std::nullopt;
+}
+
+SyncCheck FunctionallySynchronizes(const Stg& machine,
+                                   const std::vector<int>& symbols) {
+  SyncCheck result;
+  std::vector<char> reached(static_cast<size_t>(machine.num_states()), 1);
+  for (int sym : symbols) {
+    std::vector<char> next(reached.size(), 0);
+    for (int s = 0; s < machine.num_states(); ++s) {
+      if (!reached[static_cast<size_t>(s)]) continue;
+      next[static_cast<size_t>(
+          machine.next[static_cast<size_t>(s)][static_cast<size_t>(sym)])] = 1;
+    }
+    reached = std::move(next);
+  }
+  for (int s = 0; s < machine.num_states(); ++s) {
+    if (reached[static_cast<size_t>(s)]) result.final_states.push_back(s);
+  }
+  const JointEquivalence eq = SelfEquivalence(machine);
+  result.synchronizes = true;
+  for (int s : result.final_states) {
+    const int block = eq.block_a[static_cast<size_t>(s)];
+    if (result.block < 0) result.block = block;
+    if (block != result.block) {
+      result.synchronizes = false;
+      result.block = -1;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace retest::stg

@@ -1,0 +1,49 @@
+// Space/time containment and equivalence of machines (paper Section II)
+// plus STG-level (functional) synchronizing-sequence checks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "stg/equivalence.h"
+#include "stg/stg.h"
+
+namespace retest::stg {
+
+/// Membership mask of K_i: the states reachable from *any* state after
+/// exactly `steps` transitions (K_0 = all states).
+std::vector<char> StatesAfter(const Stg& machine, int steps);
+
+/// K space-contains K'  (K >=_s K'): every state of K' has an
+/// equivalent state in K.
+bool SpaceContains(const Stg& k, const Stg& k_prime);
+
+/// Space equivalence: containment both ways.
+bool SpaceEquivalent(const Stg& k, const Stg& k_prime);
+
+/// K N-time-contains K' (K >=_Nt K'): every state of K'_N has an
+/// equivalent state in K.
+bool NTimeContains(const Stg& k, const Stg& k_prime, int n);
+
+/// Smallest N <= max_n with NTimeContains(k, k_prime, N), or nullopt.
+std::optional<int> SmallestTimeContainment(const Stg& k, const Stg& k_prime,
+                                           int max_n);
+
+/// Result of checking a functional-based synchronizing sequence.
+struct SyncCheck {
+  /// True iff the sequence drives every initial state into a single
+  /// class of equivalent states.
+  bool synchronizes = false;
+  /// Final states reached from each initial state (deduplicated).
+  std::vector<int> final_states;
+  /// When synchronizing: the equivalence block the finals share.
+  int block = -1;
+};
+
+/// Checks whether `symbols` (input symbol indices) is a functional-
+/// based synchronizing sequence for the machine, i.e. a synchronizing
+/// sequence with respect to the state transition graph.
+SyncCheck FunctionallySynchronizes(const Stg& machine,
+                                   const std::vector<int>& symbols);
+
+}  // namespace retest::stg

@@ -1,0 +1,77 @@
+#include "stg/equivalence.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace retest::stg {
+
+JointEquivalence Equivalence(const Stg& a, const Stg& b) {
+  if (a.num_inputs != b.num_inputs || a.num_outputs != b.num_outputs) {
+    throw std::invalid_argument("Equivalence: interface mismatch");
+  }
+  const int na = a.num_states();
+  const int nb = b.num_states();
+  const int total = na + nb;
+  const int symbols = a.num_symbols();
+
+  // Joint machine: states [0, na) are A's, [na, na+nb) are B's.
+  auto next_of = [&](int s, int sym) {
+    return s < na ? a.next[static_cast<size_t>(s)][static_cast<size_t>(sym)]
+                  : na + b.next[static_cast<size_t>(s - na)]
+                              [static_cast<size_t>(sym)];
+  };
+  auto out_of = [&](int s, int sym) {
+    return s < na ? a.out[static_cast<size_t>(s)][static_cast<size_t>(sym)]
+                  : b.out[static_cast<size_t>(s - na)][static_cast<size_t>(sym)];
+  };
+
+  // Initial partition: by full output row.
+  std::vector<int> block(static_cast<size_t>(total));
+  {
+    std::map<std::vector<std::uint64_t>, int> index;
+    for (int s = 0; s < total; ++s) {
+      std::vector<std::uint64_t> row(static_cast<size_t>(symbols));
+      for (int sym = 0; sym < symbols; ++sym) {
+        row[static_cast<size_t>(sym)] = out_of(s, sym);
+      }
+      auto [it, _] = index.try_emplace(std::move(row),
+                                       static_cast<int>(index.size()));
+      block[static_cast<size_t>(s)] = it->second;
+    }
+  }
+
+  // Refine: signature = (block, successor blocks per symbol).
+  bool changed = true;
+  while (changed) {
+    std::map<std::vector<int>, int> index;
+    std::vector<int> next_block(static_cast<size_t>(total));
+    for (int s = 0; s < total; ++s) {
+      std::vector<int> signature;
+      signature.reserve(static_cast<size_t>(symbols) + 1);
+      signature.push_back(block[static_cast<size_t>(s)]);
+      for (int sym = 0; sym < symbols; ++sym) {
+        signature.push_back(block[static_cast<size_t>(next_of(s, sym))]);
+      }
+      auto [it, _] = index.try_emplace(std::move(signature),
+                                       static_cast<int>(index.size()));
+      next_block[static_cast<size_t>(s)] = it->second;
+    }
+    changed = next_block != block;
+    block = std::move(next_block);
+  }
+
+  JointEquivalence result;
+  result.block_a.assign(block.begin(), block.begin() + na);
+  result.block_b.assign(block.begin() + na, block.end());
+  int max_block = -1;
+  for (int id : block) max_block = std::max(max_block, id);
+  result.num_blocks = max_block + 1;
+  return result;
+}
+
+JointEquivalence SelfEquivalence(const Stg& machine) {
+  return Equivalence(machine, machine);
+}
+
+}  // namespace retest::stg

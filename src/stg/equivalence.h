@@ -1,0 +1,37 @@
+// State equivalence across (pairs of) machines.
+//
+// Two states q, q' are equivalent iff the machines started in q and q'
+// produce identical output sequences for every input sequence (paper
+// Section II, after Hennie).  Decided by partition refinement over the
+// disjoint union of the two machines.
+#pragma once
+
+#include <vector>
+
+#include "stg/stg.h"
+
+namespace retest::stg {
+
+/// Equivalence classes over the states of two machines with the same
+/// input/output interface.  States (of either machine) are equivalent
+/// iff they carry the same block id.
+struct JointEquivalence {
+  std::vector<int> block_a;  ///< Block id of each state of machine A.
+  std::vector<int> block_b;  ///< Block id of each state of machine B.
+  int num_blocks = 0;
+};
+
+/// Computes state-equivalence classes across machines A and B.
+/// Requires identical num_inputs and num_outputs.
+JointEquivalence Equivalence(const Stg& a, const Stg& b);
+
+/// Equivalence of a machine with itself (classes of equivalent states).
+JointEquivalence SelfEquivalence(const Stg& machine);
+
+/// True iff state `qa` of A is equivalent to state `qb` of B.
+inline bool Equivalent(const JointEquivalence& eq, int qa, int qb) {
+  return eq.block_a[static_cast<size_t>(qa)] ==
+         eq.block_b[static_cast<size_t>(qb)];
+}
+
+}  // namespace retest::stg

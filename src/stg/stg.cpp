@@ -1,0 +1,108 @@
+#include "stg/stg.h"
+
+#include <stdexcept>
+
+#include "faultsim/serial.h"
+
+namespace retest::stg {
+
+using sim::V3;
+
+int PackState(std::span<const V3> state) {
+  int packed = 0;
+  for (size_t i = 0; i < state.size(); ++i) {
+    if (state[i] == V3::kX) {
+      throw std::invalid_argument("PackState: X state bit");
+    }
+    if (state[i] == V3::k1) packed |= 1 << i;
+  }
+  return packed;
+}
+
+std::vector<V3> UnpackState(int packed, int state_bits) {
+  std::vector<V3> state(static_cast<size_t>(state_bits));
+  for (int i = 0; i < state_bits; ++i) {
+    state[static_cast<size_t>(i)] = (packed >> i) & 1 ? V3::k1 : V3::k0;
+  }
+  return state;
+}
+
+int PackInput(std::span<const V3> inputs) { return PackState(inputs); }
+
+std::vector<V3> UnpackInput(int packed, int num_inputs) {
+  return UnpackState(packed, num_inputs);
+}
+
+namespace {
+
+template <typename Stepper>
+Stg ExtractWith(const netlist::Circuit& circuit, const ExtractLimits& limits,
+                Stepper&& stepper) {
+  if (circuit.num_dffs() > limits.max_state_bits) {
+    throw std::invalid_argument("Extract: too many DFFs in '" +
+                                circuit.name() + "'");
+  }
+  if (circuit.num_inputs() > limits.max_inputs) {
+    throw std::invalid_argument("Extract: too many PIs in '" +
+                                circuit.name() + "'");
+  }
+  if (circuit.num_outputs() > 64) {
+    throw std::invalid_argument("Extract: more than 64 POs in '" +
+                                circuit.name() + "'");
+  }
+  Stg stg;
+  stg.state_bits = circuit.num_dffs();
+  stg.num_inputs = circuit.num_inputs();
+  stg.num_outputs = circuit.num_outputs();
+  stg.next.assign(static_cast<size_t>(stg.num_states()),
+                  std::vector<int>(static_cast<size_t>(stg.num_symbols()), 0));
+  stg.out.assign(
+      static_cast<size_t>(stg.num_states()),
+      std::vector<std::uint64_t>(static_cast<size_t>(stg.num_symbols()), 0));
+
+  for (int s = 0; s < stg.num_states(); ++s) {
+    const auto state = UnpackState(s, stg.state_bits);
+    for (int a = 0; a < stg.num_symbols(); ++a) {
+      const auto inputs = UnpackInput(a, stg.num_inputs);
+      const auto [outputs, next_state] = stepper(state, inputs);
+      std::uint64_t packed_out = 0;
+      for (size_t o = 0; o < outputs.size(); ++o) {
+        if (outputs[o] == V3::kX) {
+          throw std::logic_error("Extract: X output from binary state");
+        }
+        if (outputs[o] == V3::k1) packed_out |= 1ull << o;
+      }
+      stg.out[static_cast<size_t>(s)][static_cast<size_t>(a)] = packed_out;
+      stg.next[static_cast<size_t>(s)][static_cast<size_t>(a)] =
+          PackState(next_state);
+    }
+  }
+  return stg;
+}
+
+}  // namespace
+
+Stg Extract(const netlist::Circuit& circuit, const ExtractLimits& limits) {
+  sim::Simulator simulator(circuit);
+  return ExtractWith(
+      circuit, limits,
+      [&](const std::vector<V3>& state, const std::vector<V3>& inputs) {
+        simulator.SetState(state);
+        auto outputs = simulator.Step(inputs);
+        return std::pair(std::move(outputs), simulator.State());
+      });
+}
+
+Stg ExtractFaulty(const netlist::Circuit& circuit, const fault::Fault& fault,
+                  const ExtractLimits& limits) {
+  faultsim::FaultySimulator simulator(circuit, fault);
+  return ExtractWith(
+      circuit, limits,
+      [&](const std::vector<V3>& state, const std::vector<V3>& inputs) {
+        simulator.SetState(state);
+        auto outputs = simulator.Step(inputs);
+        return std::pair(std::move(outputs), simulator.state());
+      });
+}
+
+}  // namespace retest::stg

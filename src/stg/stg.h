@@ -1,0 +1,57 @@
+// State-transition-graph extraction for small circuits.
+//
+// Enumerates the full STG (all 2^#DFF states x all 2^#PI inputs) of a
+// fault-free or faulty circuit.  Used by the verification layer: the
+// paper's space/time containment relations (Section II) are decided on
+// extracted STGs, which is how Lemmas 1-3 and the worked examples of
+// Figs. 2/3/5 are checked mechanically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault.h"
+#include "netlist/circuit.h"
+#include "sim/simulator.h"
+
+namespace retest::stg {
+
+/// A completely-specified Mealy machine over binary states.
+struct Stg {
+  int state_bits = 0;   ///< Number of DFFs; states are [0, 2^bits).
+  int num_inputs = 0;   ///< Number of PIs; input symbols are [0, 2^pi).
+  int num_outputs = 0;  ///< Number of POs (<= 64, packed into words).
+  /// next[state][input] -> state.
+  std::vector<std::vector<int>> next;
+  /// out[state][input] -> PO values packed little-endian (PO 0 = bit 0).
+  std::vector<std::vector<std::uint64_t>> out;
+
+  int num_states() const { return 1 << state_bits; }
+  int num_symbols() const { return 1 << num_inputs; }
+};
+
+/// Limits guarding the exponential enumeration.
+struct ExtractLimits {
+  int max_state_bits = 12;
+  int max_inputs = 10;
+};
+
+/// Extracts the STG of the fault-free circuit.  Throws when the circuit
+/// exceeds the limits or has more than 64 POs.
+Stg Extract(const netlist::Circuit& circuit, const ExtractLimits& limits = {});
+
+/// Extracts the STG of the circuit with `fault` injected.
+Stg ExtractFaulty(const netlist::Circuit& circuit, const fault::Fault& fault,
+                  const ExtractLimits& limits = {});
+
+/// Converts a DFF-state vector (Circuit::dffs order, binary values) to
+/// the packed state index used by Stg (DFF 0 = bit 0), and back.
+int PackState(std::span<const sim::V3> state);
+std::vector<sim::V3> UnpackState(int packed, int state_bits);
+
+/// Converts an input vector (binary) to a symbol index and back.
+int PackInput(std::span<const sim::V3> inputs);
+std::vector<sim::V3> UnpackInput(int packed, int num_inputs);
+
+}  // namespace retest::stg

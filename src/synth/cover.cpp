@@ -1,0 +1,96 @@
+#include "synth/cover.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace retest::synth {
+
+int Cube::size() const { return std::popcount(care); }
+
+bool Cube::Contains(const Cube& other) const {
+  // Every literal of this cube must be a literal of `other` with the
+  // same polarity.
+  if ((care & other.care) != care) return false;
+  return (value & care) == (other.value & care);
+}
+
+bool Cube::Intersects(const Cube& other) const {
+  const std::uint64_t common = care & other.care;
+  return (value & common) == (other.value & common);
+}
+
+bool Cube::Matches(std::uint64_t assignment) const {
+  return (assignment & care) == value;
+}
+
+bool Evaluate(const Cover& cover, std::uint64_t assignment) {
+  for (const Cube& cube : cover) {
+    if (cube.Matches(assignment)) return true;
+  }
+  return false;
+}
+
+bool TryMergeAdjacent(const Cube& a, const Cube& b, Cube& merged) {
+  if (a.care != b.care) return false;
+  const std::uint64_t diff = a.value ^ b.value;
+  if (std::popcount(diff) != 1) return false;
+  merged.care = a.care & ~diff;
+  merged.value = a.value & ~diff;
+  return true;
+}
+
+void MinimizeCover(Cover& cover) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Adjacency merging.
+    for (size_t i = 0; i < cover.size() && !changed; ++i) {
+      for (size_t j = i + 1; j < cover.size(); ++j) {
+        Cube merged;
+        if (TryMergeAdjacent(cover[i], cover[j], merged)) {
+          cover[i] = merged;
+          cover.erase(cover.begin() + static_cast<long>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+    // Containment removal.
+    for (size_t i = 0; i < cover.size(); ++i) {
+      for (size_t j = 0; j < cover.size();) {
+        if (i != j && cover[i].Contains(cover[j])) {
+          cover.erase(cover.begin() + static_cast<long>(j));
+          if (j < i) --i;
+          changed = true;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+}
+
+Cube CubeFromString(const char* text) {
+  const size_t n = std::strlen(text);
+  if (n > 64) throw std::invalid_argument("CubeFromString: too many variables");
+  Cube cube;
+  for (size_t i = 0; i < n; ++i) {
+    switch (text[i]) {
+      case '0':
+        cube.care |= 1ull << i;
+        break;
+      case '1':
+        cube.care |= 1ull << i;
+        cube.value |= 1ull << i;
+        break;
+      case '-':
+        break;
+      default:
+        throw std::invalid_argument("CubeFromString: bad character");
+    }
+  }
+  return cube;
+}
+
+}  // namespace retest::synth

@@ -1,0 +1,51 @@
+// Two-level (sum-of-products) covers over up to 64 variables, with a
+// light-weight minimizer (single-cube containment + adjacency merging,
+// iterated to a fixpoint).  This is the espresso stand-in feeding the
+// multi-level structuring scripts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace retest::synth {
+
+/// A product term: variable i is a literal iff bit i of `care` is set,
+/// with polarity given by bit i of `value` (bits outside `care` are 0).
+struct Cube {
+  std::uint64_t care = 0;
+  std::uint64_t value = 0;
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+
+  /// Number of literals.
+  int size() const;
+  /// True when this cube covers every minterm of `other`.
+  bool Contains(const Cube& other) const;
+  /// True when the cubes share at least one minterm.
+  bool Intersects(const Cube& other) const;
+  /// True when `assignment` (a full minterm) satisfies the cube.
+  bool Matches(std::uint64_t assignment) const;
+};
+
+/// An ON-set cover: OR of cubes.  Empty cover = constant 0; a cube with
+/// no literals = constant 1.
+using Cover = std::vector<Cube>;
+
+/// Evaluates the cover on a full variable assignment.
+bool Evaluate(const Cover& cover, std::uint64_t assignment);
+
+/// Attempts the adjacency (consensus-merge) rule: if the cubes differ
+/// in exactly one literal's polarity and agree elsewhere, writes the
+/// merged cube and returns true.
+bool TryMergeAdjacent(const Cube& a, const Cube& b, Cube& merged);
+
+/// Minimizes in place: removes contained cubes and merges adjacent
+/// pairs until no rule applies.  Preserves the ON-set exactly (no
+/// off-set knowledge is used, so the result never grows the function).
+void MinimizeCover(Cover& cover);
+
+/// Builds a cube from a string like "1-0" (variable 0 is the first
+/// character).  Throws on bad characters or length > 64.
+Cube CubeFromString(const char* text);
+
+}  // namespace retest::synth

@@ -1,0 +1,160 @@
+#include "synth/encode.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace retest::synth {
+namespace {
+
+using fsm::Fsm;
+using fsm::Transition;
+
+/// Pairwise affinity matrix (symmetric, zero diagonal).
+using Affinity = std::vector<std::vector<double>>;
+
+Affinity OutputAffinity(const Fsm& fsm) {
+  const size_t n = static_cast<size_t>(fsm.num_states());
+  // Output signature: per state, the fraction of its transitions
+  // asserting each output.
+  std::vector<std::vector<double>> signature(
+      n, std::vector<double>(static_cast<size_t>(fsm.num_outputs), 0.0));
+  std::vector<int> cubes(n, 0);
+  for (const Transition& t : fsm.transitions) {
+    ++cubes[static_cast<size_t>(t.from)];
+    for (int o = 0; o < fsm.num_outputs; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '1') {
+        signature[static_cast<size_t>(t.from)][static_cast<size_t>(o)] += 1.0;
+      }
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    for (double& v : signature[s]) {
+      if (cubes[s] > 0) v /= cubes[s];
+    }
+  }
+  Affinity affinity(n, std::vector<double>(n, 0.0));
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      double similarity = 0.0;
+      for (int o = 0; o < fsm.num_outputs; ++o) {
+        similarity += 1.0 - std::abs(signature[a][static_cast<size_t>(o)] -
+                                     signature[b][static_cast<size_t>(o)]);
+      }
+      affinity[a][b] = affinity[b][a] = similarity;
+    }
+  }
+  return affinity;
+}
+
+Affinity InputAffinity(const Fsm& fsm) {
+  const size_t n = static_cast<size_t>(fsm.num_states());
+  Affinity affinity(n, std::vector<double>(n, 0.0));
+  // Successors of the same state attract each other (they are encoded
+  // close so that the next-state logic shares cubes).
+  for (size_t i = 0; i < fsm.transitions.size(); ++i) {
+    for (size_t j = i + 1; j < fsm.transitions.size(); ++j) {
+      const Transition& a = fsm.transitions[i];
+      const Transition& b = fsm.transitions[j];
+      if (a.from != b.from || a.to == b.to) continue;
+      affinity[static_cast<size_t>(a.to)][static_cast<size_t>(b.to)] += 1.0;
+      affinity[static_cast<size_t>(b.to)][static_cast<size_t>(a.to)] += 1.0;
+    }
+  }
+  return affinity;
+}
+
+}  // namespace
+
+const char* ToSuffix(EncodingStyle style) {
+  switch (style) {
+    case EncodingStyle::kOutputDominant: return "jo";
+    case EncodingStyle::kInputDominant: return "ji";
+    case EncodingStyle::kCombined: return "jc";
+  }
+  return "?";
+}
+
+Encoding EncodeStates(const fsm::Fsm& fsm, EncodingStyle style) {
+  const int n = fsm.num_states();
+  if (n <= 0) throw std::invalid_argument("EncodeStates: empty FSM");
+
+  Affinity affinity;
+  switch (style) {
+    case EncodingStyle::kOutputDominant:
+      affinity = OutputAffinity(fsm);
+      break;
+    case EncodingStyle::kInputDominant:
+      affinity = InputAffinity(fsm);
+      break;
+    case EncodingStyle::kCombined: {
+      affinity = OutputAffinity(fsm);
+      const Affinity input = InputAffinity(fsm);
+      for (size_t a = 0; a < affinity.size(); ++a) {
+        for (size_t b = 0; b < affinity.size(); ++b) {
+          affinity[a][b] += input[a][b];
+        }
+      }
+      break;
+    }
+  }
+
+  Encoding encoding;
+  encoding.bits = n <= 1 ? 1 : std::bit_width(static_cast<unsigned>(n - 1));
+  encoding.code_of.assign(static_cast<size_t>(n), 0);
+  const int num_codes = 1 << encoding.bits;
+
+  std::vector<bool> placed(static_cast<size_t>(n), false);
+  std::vector<bool> code_used(static_cast<size_t>(num_codes), false);
+
+  // The reset state (or state 0) anchors the embedding at code 0.
+  int first = fsm.reset_state >= 0 ? fsm.reset_state : 0;
+  encoding.code_of[static_cast<size_t>(first)] = 0;
+  placed[static_cast<size_t>(first)] = true;
+  code_used[0] = true;
+
+  for (int step = 1; step < n; ++step) {
+    // Unplaced state with the strongest pull toward placed states.
+    int best_state = -1;
+    double best_pull = -1.0;
+    for (int s = 0; s < n; ++s) {
+      if (placed[static_cast<size_t>(s)]) continue;
+      double pull = 0.0;
+      for (int p = 0; p < n; ++p) {
+        if (placed[static_cast<size_t>(p)]) {
+          pull += affinity[static_cast<size_t>(s)][static_cast<size_t>(p)];
+        }
+      }
+      if (pull > best_pull) {
+        best_pull = pull;
+        best_state = s;
+      }
+    }
+    // Free code minimizing affinity-weighted Hamming distance.
+    int best_code = -1;
+    double best_cost = 0.0;
+    for (int code = 0; code < num_codes; ++code) {
+      if (code_used[static_cast<size_t>(code)]) continue;
+      double cost = 0.0;
+      for (int p = 0; p < n; ++p) {
+        if (!placed[static_cast<size_t>(p)]) continue;
+        const int distance = std::popcount(
+            static_cast<unsigned>(code) ^ encoding.code_of[static_cast<size_t>(p)]);
+        cost += affinity[static_cast<size_t>(best_state)][static_cast<size_t>(p)] *
+                distance;
+      }
+      if (best_code < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_code = code;
+      }
+    }
+    encoding.code_of[static_cast<size_t>(best_state)] =
+        static_cast<std::uint32_t>(best_code);
+    placed[static_cast<size_t>(best_state)] = true;
+    code_used[static_cast<size_t>(best_code)] = true;
+  }
+  return encoding;
+}
+
+}  // namespace retest::synth

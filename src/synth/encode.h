@@ -1,0 +1,39 @@
+// State encoding (the jedi stand-in).
+//
+// Assigns minimal-width binary codes to FSM states with a greedy
+// affinity-embedding heuristic in three flavours matching the paper's
+// synthesis-option fields: output dominant (.jo), input dominant (.ji)
+// and combined (.jc).  States with high affinity receive codes at small
+// Hamming distance, which is what shapes the synthesized logic -- the
+// experiments only rely on the three flavours producing structurally
+// different circuits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/fsm.h"
+
+namespace retest::synth {
+
+/// Which pairwise state affinity drives the embedding.
+enum class EncodingStyle {
+  kOutputDominant,  ///< .jo: states with similar output behaviour.
+  kInputDominant,   ///< .ji: states fanning out of common predecessors.
+  kCombined,        ///< .jc: sum of both affinities.
+};
+
+/// Short suffix used in circuit names ("jo", "ji", "jc").
+const char* ToSuffix(EncodingStyle style);
+
+/// A state assignment.
+struct Encoding {
+  int bits = 0;  ///< Code width: ceil(log2(num_states)).
+  /// code_of[s] = binary code of state s (bit 0 = state variable 0).
+  std::vector<std::uint32_t> code_of;
+};
+
+/// Encodes the FSM's states.  Deterministic.
+Encoding EncodeStates(const fsm::Fsm& fsm, EncodingStyle style);
+
+}  // namespace retest::synth

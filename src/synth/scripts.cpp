@@ -1,0 +1,246 @@
+#include "synth/scripts.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace retest::synth {
+namespace {
+
+using netlist::Circuit;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+class Emitter {
+ public:
+  Emitter(Circuit& circuit, const std::vector<NodeId>& vars,
+          ScriptStyle style, const std::string& prefix)
+      : circuit_(circuit), vars_(vars), style_(style), prefix_(prefix) {}
+
+  std::vector<NodeId> Emit(const std::vector<Cover>& covers) {
+    // Products of every cover, as sorted literal-net lists, with
+    // identical products shared globally.
+    std::vector<std::vector<std::vector<NodeId>>> products(covers.size());
+    for (size_t f = 0; f < covers.size(); ++f) {
+      for (const Cube& cube : covers[f]) {
+        products[f].push_back(LiteralNets(cube));
+      }
+    }
+    if (style_ == ScriptStyle::kRugged) ExtractDivisors(products);
+
+    std::vector<NodeId> nets(covers.size());
+    for (size_t f = 0; f < covers.size(); ++f) {
+      nets[f] = EmitFunction(products[f]);
+    }
+    return nets;
+  }
+
+ private:
+  NodeId Const0() {
+    if (const0_ == netlist::kNoNode) {
+      const0_ = circuit_.Add(NodeKind::kConst0, circuit_.FreshName(prefix_ + "zero"));
+    }
+    return const0_;
+  }
+  NodeId Const1() {
+    if (const1_ == netlist::kNoNode) {
+      const1_ = circuit_.Add(NodeKind::kConst1, circuit_.FreshName(prefix_ + "one"));
+    }
+    return const1_;
+  }
+
+  NodeId Literal(int var, bool positive) {
+    const NodeId net = vars_[static_cast<size_t>(var)];
+    if (positive) return net;
+    auto it = inverters_.find(net);
+    if (it != inverters_.end()) return it->second;
+    const NodeId inv = circuit_.Add(
+        NodeKind::kNot, circuit_.FreshName(prefix_ + "n" + std::to_string(var)),
+        {net});
+    inverters_.emplace(net, inv);
+    return inv;
+  }
+
+  std::vector<NodeId> LiteralNets(const Cube& cube) {
+    std::vector<NodeId> nets;
+    for (int var = 0; var < 64; ++var) {
+      if (cube.care & (1ull << var)) {
+        nets.push_back(Literal(var, (cube.value >> var) & 1));
+      }
+    }
+    std::sort(nets.begin(), nets.end());
+    return nets;
+  }
+
+  /// Creates (or reuses) a 2-input gate over the ordered pair (a, b).
+  NodeId Gate2(NodeKind kind, NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    const auto key = std::tuple(kind, a, b);
+    auto it = gate_cache_.find(key);
+    if (it != gate_cache_.end()) return it->second;
+    const NodeId gate =
+        circuit_.Add(kind, circuit_.FreshName(prefix_ + "g"), {a, b});
+    gate_cache_.emplace(key, gate);
+    return gate;
+  }
+
+  /// Reduces `nets` to one net with 2-input gates of `kind`.
+  NodeId Reduce(NodeKind kind, std::vector<NodeId> nets) {
+    if (nets.empty()) {
+      throw std::logic_error("Reduce: empty operand list");
+    }
+    if (style_ == ScriptStyle::kDelay) {
+      // Balanced tree: combine pairs level by level.
+      while (nets.size() > 1) {
+        std::vector<NodeId> next;
+        for (size_t i = 0; i + 1 < nets.size(); i += 2) {
+          next.push_back(Gate2(kind, nets[i], nets[i + 1]));
+        }
+        if (nets.size() % 2 == 1) next.push_back(nets.back());
+        nets = std::move(next);
+      }
+      return nets.front();
+    }
+    // Rugged: left-deep chain.
+    NodeId acc = nets.front();
+    for (size_t i = 1; i < nets.size(); ++i) {
+      acc = Gate2(kind, acc, nets[i]);
+    }
+    return acc;
+  }
+
+  /// Greedy shared literal-pair (divisor) extraction across all
+  /// products of all functions.
+  void ExtractDivisors(std::vector<std::vector<std::vector<NodeId>>>& products) {
+    for (int round = 0; round < 1000; ++round) {
+      std::map<std::pair<NodeId, NodeId>, int> pair_count;
+      for (const auto& function : products) {
+        for (const auto& product : function) {
+          for (size_t i = 0; i < product.size(); ++i) {
+            for (size_t j = i + 1; j < product.size(); ++j) {
+              ++pair_count[{product[i], product[j]}];
+            }
+          }
+        }
+      }
+      std::pair<NodeId, NodeId> best{netlist::kNoNode, netlist::kNoNode};
+      int best_count = 1;
+      for (const auto& [pair, count] : pair_count) {
+        if (count > best_count) {
+          best_count = count;
+          best = pair;
+        }
+      }
+      if (best_count < 2) break;
+      const NodeId divisor = Gate2(NodeKind::kAnd, best.first, best.second);
+      for (auto& function : products) {
+        for (auto& product : function) {
+          auto a = std::find(product.begin(), product.end(), best.first);
+          auto b = std::find(product.begin(), product.end(), best.second);
+          if (a == product.end() || b == product.end()) continue;
+          product.erase(b);  // b is at a later/equal position? erase both
+          a = std::find(product.begin(), product.end(), best.first);
+          product.erase(a);
+          product.push_back(divisor);
+          std::sort(product.begin(), product.end());
+        }
+      }
+    }
+  }
+
+  NodeId EmitFunction(const std::vector<std::vector<NodeId>>& function) {
+    if (function.empty()) return Const0();
+    std::vector<NodeId> product_nets;
+    for (const auto& product : function) {
+      if (product.empty()) return Const1();  // tautological cube
+      product_nets.push_back(product.size() == 1
+                                 ? product.front()
+                                 : Reduce(NodeKind::kAnd, product));
+    }
+    std::sort(product_nets.begin(), product_nets.end());
+    product_nets.erase(std::unique(product_nets.begin(), product_nets.end()),
+                       product_nets.end());
+    return product_nets.size() == 1 ? product_nets.front()
+                                    : Reduce(NodeKind::kOr, product_nets);
+  }
+
+  Circuit& circuit_;
+  const std::vector<NodeId>& vars_;
+  ScriptStyle style_;
+  std::string prefix_;
+  NodeId const0_ = netlist::kNoNode;
+  NodeId const1_ = netlist::kNoNode;
+  std::map<NodeId, NodeId> inverters_;
+  std::map<std::tuple<NodeKind, NodeId, NodeId>, NodeId> gate_cache_;
+};
+
+}  // namespace
+
+const char* ToSuffix(ScriptStyle style) {
+  switch (style) {
+    case ScriptStyle::kDelay: return "sd";
+    case ScriptStyle::kRugged: return "sr";
+  }
+  return "?";
+}
+
+std::vector<NodeId> EmitCovers(Circuit& circuit,
+                               const std::vector<Cover>& covers,
+                               const std::vector<NodeId>& vars,
+                               ScriptStyle style, const std::string& prefix) {
+  Emitter emitter(circuit, vars, style, prefix);
+  return emitter.Emit(covers);
+}
+
+std::vector<NodeId> EmitMuxTrees(
+    Circuit& circuit, const std::vector<std::vector<NodeId>>& leaves,
+    const std::vector<NodeId>& selects, const std::string& prefix) {
+  const size_t k = selects.size();
+  // Shared structural caches.
+  std::map<NodeId, NodeId> inverter;
+  std::map<std::tuple<NodeKind, NodeId, NodeId>, NodeId> gate_cache;
+  auto gate2 = [&](NodeKind kind, NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    const auto key = std::tuple(kind, a, b);
+    auto it = gate_cache.find(key);
+    if (it != gate_cache.end()) return it->second;
+    const NodeId gate =
+        circuit.Add(kind, circuit.FreshName(prefix + "m"), {a, b});
+    gate_cache.emplace(key, gate);
+    return gate;
+  };
+  auto invert = [&](NodeId net) {
+    auto it = inverter.find(net);
+    if (it != inverter.end()) return it->second;
+    const NodeId inv =
+        circuit.Add(NodeKind::kNot, circuit.FreshName(prefix + "mn"), {net});
+    inverter.emplace(net, inv);
+    return inv;
+  };
+  auto mux = [&](NodeId sel, NodeId when1, NodeId when0) {
+    if (when1 == when0) return when1;
+    const NodeId a = gate2(NodeKind::kAnd, sel, when1);
+    const NodeId b = gate2(NodeKind::kAnd, invert(sel), when0);
+    return gate2(NodeKind::kOr, a, b);
+  };
+
+  std::vector<NodeId> roots;
+  roots.reserve(leaves.size());
+  for (const auto& function_leaves : leaves) {
+    if (function_leaves.size() != (size_t{1} << k)) {
+      throw std::invalid_argument("EmitMuxTrees: leaves size != 2^k");
+    }
+    std::vector<NodeId> level(function_leaves);
+    for (size_t bit = 0; bit < k; ++bit) {
+      std::vector<NodeId> next(level.size() / 2);
+      for (size_t i = 0; i < next.size(); ++i) {
+        next[i] = mux(selects[bit], level[2 * i + 1], level[2 * i]);
+      }
+      level = std::move(next);
+    }
+    roots.push_back(level.front());
+  }
+  return roots;
+}
+
+}  // namespace retest::synth

@@ -1,0 +1,55 @@
+// Multi-level structuring of two-level covers (the SIS-script
+// stand-ins).
+//
+//  - kDelay ("script.delay"): no sharing beyond identical products;
+//    wide ANDs/ORs become balanced trees of 2-input gates, minimizing
+//    logic depth.
+//  - kRugged ("script.rugged"): greedy common-divisor (literal-pair)
+//    extraction shared across all functions, then left-deep chains;
+//    smaller but deeper logic with more internal fanout.
+//
+// The two styles yield the different area/delay trade-offs that make
+// the paper's original-vs-retimed comparisons interesting; nothing in
+// the experiments depends on matching SIS gate-for-gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "synth/cover.h"
+
+namespace retest::synth {
+
+/// Which SIS-style structuring script to emulate.
+enum class ScriptStyle {
+  kDelay,   ///< .sd
+  kRugged,  ///< .sr
+};
+
+/// Short suffix used in circuit names ("sd", "sr").
+const char* ToSuffix(ScriptStyle style);
+
+/// Emits multi-level logic computing every cover into `circuit`.
+/// `vars[i]` is the net carrying variable i (covers index variables by
+/// bit position).  Returns one net per cover (functions may share a
+/// net).  `prefix` namespaces the generated gate names.
+std::vector<netlist::NodeId> EmitCovers(
+    netlist::Circuit& circuit, const std::vector<Cover>& covers,
+    const std::vector<netlist::NodeId>& vars, ScriptStyle style,
+    const std::string& prefix);
+
+/// Emits 2:1-mux trees (as AND/OR/NOT gates) selecting among
+/// `leaves[f]` (one vector of 2^k nets per function) by the k `selects`
+/// nets; select bit 0 switches at the leaf level.  Gates are
+/// structurally hashed so identical subtrees are shared across
+/// functions.  Returns one root net per function.  This is the Shannon
+/// state-decomposition step of the synthesis flow: it keeps the state
+/// variables near the function roots, which is what leaves the pure-PI
+/// leaf cones retimable.
+std::vector<netlist::NodeId> EmitMuxTrees(
+    netlist::Circuit& circuit,
+    const std::vector<std::vector<netlist::NodeId>>& leaves,
+    const std::vector<netlist::NodeId>& selects, const std::string& prefix);
+
+}  // namespace retest::synth

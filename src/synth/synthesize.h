@@ -1,0 +1,35 @@
+// FSM -> gate-level sequential circuit (the SIS flow stand-in).
+#pragma once
+
+#include <string>
+
+#include "fsm/fsm.h"
+#include "netlist/circuit.h"
+#include "synth/encode.h"
+#include "synth/scripts.h"
+
+namespace retest::synth {
+
+/// Synthesis options mirroring the paper's circuit-name fields
+/// (e.g. "s510.jc.sd" = jedi-combined encoding, script.delay).
+struct SynthesisOptions {
+  EncodingStyle encoding = EncodingStyle::kCombined;
+  ScriptStyle script = ScriptStyle::kDelay;
+  /// Adds an explicit reset primary input that forces the state
+  /// registers to the FSM's reset state code (used by the paper's
+  /// dk16/pma/s510/scf versions).
+  bool explicit_reset = false;
+};
+
+/// The canonical circuit name "fsm.jX.sY" for the given options.
+std::string CircuitName(const fsm::Fsm& fsm, const SynthesisOptions& options);
+
+/// Synthesizes the FSM: encodes states minimally (so #DFF =
+/// ceil(log2 |S|)), builds minimized two-level covers for every primary
+/// output and next-state bit, then structures them per the script
+/// style.  Unspecified (state, input) pairs hold the state and output
+/// 0.  The result passes netlist::Check.
+netlist::Circuit Synthesize(const fsm::Fsm& fsm,
+                            const SynthesisOptions& options);
+
+}  // namespace retest::synth

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/collapse.h"
+#include "fault/correspondence.h"
+#include "fault/fault.h"
+#include "netlist/builder.h"
+#include "tests/paper_circuits.h"
+
+namespace retest::fault {
+namespace {
+
+using netlist::Builder;
+using netlist::Circuit;
+using netlist::NodeKind;
+
+Circuit SmallComb() {
+  Builder builder("comb");
+  builder.Input("a").Input("b");
+  builder.And("g", {"a", "b"}).Not("n", "g");
+  builder.Output("z", "n");
+  return builder.Build();
+}
+
+TEST(Enumerate, LinesWithoutFanout) {
+  // a, b, g, n each drive one sink: 4 lines, 8 faults, no branches.
+  const Circuit circuit = SmallComb();
+  const auto faults = EnumerateFaults(circuit);
+  EXPECT_EQ(faults.size(), 8u);
+  for (const Fault& fault : faults) {
+    EXPECT_EQ(fault.site.pin, -1);
+  }
+}
+
+TEST(Enumerate, BranchesOnFanout) {
+  Builder builder("fan");
+  builder.Input("a");
+  builder.Buf("g1", "a").Buf("g2", "a");
+  builder.Output("z1", "g1").Output("z2", "g2");
+  const Circuit circuit = builder.Build();
+  const auto faults = EnumerateFaults(circuit);
+  // Lines: stem a, branches a->g1 and a->g2, g1, g2 = 5 lines.
+  EXPECT_EQ(faults.size(), 10u);
+  int branches = 0;
+  for (const Fault& fault : faults) branches += fault.site.pin >= 0 ? 1 : 0;
+  EXPECT_EQ(branches, 4);
+}
+
+TEST(Enumerate, DanglingNodeHasNoFault) {
+  Circuit circuit("d");
+  circuit.Add(NodeKind::kInput, "a");
+  const auto faults = EnumerateFaults(circuit);
+  EXPECT_TRUE(faults.empty());
+}
+
+TEST(Enumerate, ToStringIsReadable) {
+  const Circuit circuit = SmallComb();
+  const Fault stem{{circuit.Find("g"), -1}, true};
+  EXPECT_EQ(ToString(circuit, stem), "g s-a-1");
+}
+
+TEST(Collapse, AndGateRule) {
+  // AND: input s-a-0 == output s-a-0 (inputs have no fanout here, so
+  // the input line is the driver's stem).
+  const Circuit circuit = SmallComb();
+  const auto collapsed = Collapse(circuit);
+  auto find = [&](const Fault& fault) {
+    const auto it = std::find(collapsed.all.begin(), collapsed.all.end(), fault);
+    EXPECT_NE(it, collapsed.all.end());
+    return collapsed.class_of[static_cast<size_t>(
+        std::distance(collapsed.all.begin(), it))];
+  };
+  const Fault a0{{circuit.Find("a"), -1}, false};
+  const Fault b0{{circuit.Find("b"), -1}, false};
+  const Fault g0{{circuit.Find("g"), -1}, false};
+  const Fault g1{{circuit.Find("g"), -1}, true};
+  EXPECT_EQ(find(a0), find(g0));
+  EXPECT_EQ(find(b0), find(g0));
+  EXPECT_NE(find(g1), find(g0));
+  // NOT: g s-a-0 == n s-a-1.
+  const Fault n1{{circuit.Find("n"), -1}, true};
+  EXPECT_EQ(find(g0), find(n1));
+}
+
+TEST(Collapse, ReducesCount) {
+  const Circuit circuit = SmallComb();
+  const auto collapsed = Collapse(circuit);
+  EXPECT_LT(collapsed.representatives.size(), collapsed.all.size());
+  // Classes partition the universe.
+  for (int rep : collapsed.class_of) {
+    EXPECT_GE(rep, 0);
+    EXPECT_LT(rep, static_cast<int>(collapsed.all.size()));
+  }
+}
+
+TEST(Collapse, DffIsNotCollapsedAcross) {
+  Builder builder("dff");
+  builder.Input("a").Dff("q", "a").Output("z", "q");
+  const Circuit circuit = builder.Build();
+  const auto collapsed = Collapse(circuit);
+  // Lines a and q stay distinct: 4 faults, 4 classes.
+  EXPECT_EQ(collapsed.representatives.size(), 4u);
+}
+
+TEST(Collapse, BranchFaultsCollapseIntoGates) {
+  Builder builder("br");
+  builder.Input("a").Input("b");
+  builder.And("g1", {"a", "b"}).Or("g2", {"a", "g1"});
+  builder.Output("z1", "g1").Output("z2", "g2");
+  const Circuit circuit = builder.Build();
+  const auto collapsed = Collapse(circuit);
+  auto class_of = [&](const Fault& fault) {
+    const auto it = std::find(collapsed.all.begin(), collapsed.all.end(), fault);
+    EXPECT_NE(it, collapsed.all.end()) << ToString(circuit, fault);
+    return collapsed.class_of[static_cast<size_t>(
+        std::distance(collapsed.all.begin(), it))];
+  };
+  // a fans out: branch (g1, pin0) s-a-0 joins g1's output s-a-0 class,
+  // while branch (g2, pin0) s-a-1 joins g2's output s-a-1 class; the
+  // stem fault on a stays separate.
+  const Fault branch_g1_sa0{{circuit.Find("g1"), 0}, false};
+  const Fault g1_sa0{{circuit.Find("g1"), -1}, false};
+  EXPECT_EQ(class_of(branch_g1_sa0), class_of(g1_sa0));
+  const Fault branch_g2_sa1{{circuit.Find("g2"), 0}, true};
+  const Fault g2_sa1{{circuit.Find("g2"), -1}, true};
+  EXPECT_EQ(class_of(branch_g2_sa1), class_of(g2_sa1));
+  const Fault stem_a_sa0{{circuit.Find("a"), -1}, false};
+  EXPECT_NE(class_of(stem_a_sa0), class_of(g1_sa0));
+}
+
+TEST(Correspondence, IdentityRetimingIsIdentity) {
+  const auto circuit = retest::testing::MakeFig5N1();
+  retime::BuildResult build = retime::BuildGraph(circuit);
+  retime::Retiming identity;
+  identity.lags.assign(static_cast<size_t>(build.graph.num_vertices()), 0);
+  const auto applied =
+      retime::ApplyRetiming(circuit, build, identity, "N1.copy");
+  const auto correspondence = BuildCorrespondence(build, identity, applied);
+  // Every site maps to exactly one site.
+  for (const auto& [site, originals] : correspondence.to_original) {
+    EXPECT_EQ(originals.size(), 1u);
+  }
+  EXPECT_EQ(correspondence.to_original.size(),
+            correspondence.to_retimed.size());
+}
+
+TEST(Correspondence, ForwardMoveSplitsLine) {
+  // Fig. 5: forward move across g1 places a DFF on line g1->g2; the
+  // original line's fault corresponds to both new lines.
+  auto pair = retest::testing::MakeFig5Pair();
+  const auto correspondence =
+      BuildCorrespondence(pair.build, pair.retiming, pair.applied);
+  const auto original = retest::testing::MakeFig5N1();
+  const Site g1_out{original.Find("g1"), -1};
+  const auto it = correspondence.to_retimed.find(g1_out);
+  ASSERT_NE(it, correspondence.to_retimed.end());
+  // g1->g2 in N1 becomes g1->Q12 and Q12->g2 in N2.
+  EXPECT_GE(it->second.size(), 2u);
+}
+
+TEST(Correspondence, EveryRetimedFaultHasOriginal) {
+  auto check = [](retest::testing::RetimedPair pair) {
+    const auto correspondence =
+        BuildCorrespondence(pair.build, pair.retiming, pair.applied);
+    const auto faults = EnumerateFaults(pair.applied.circuit);
+    for (const Fault& fault : faults) {
+      const auto it = correspondence.to_original.find(fault.site);
+      ASSERT_NE(it, correspondence.to_original.end())
+          << pair.applied.circuit.name() << ": "
+          << ToString(pair.applied.circuit, fault);
+      EXPECT_FALSE(it->second.empty());
+    }
+  };
+  check(retest::testing::MakeFig2Pair());
+  check(retest::testing::MakeFig3Pair());
+  check(retest::testing::MakeFig5Pair());
+}
+
+TEST(Injection, MapsFaultFields) {
+  const Fault fault{{7, 2}, true};
+  const sim::Injection injection = ToInjection(fault, 13);
+  EXPECT_EQ(injection.node, 7);
+  EXPECT_EQ(injection.pin, 2);
+  EXPECT_TRUE(injection.value);
+  EXPECT_EQ(injection.lane, 13);
+}
+
+}  // namespace
+}  // namespace retest::fault

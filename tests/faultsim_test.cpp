@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fault/fault.h"
+#include "faultsim/proofs.h"
+#include "faultsim/serial.h"
+#include "netlist/builder.h"
+#include "sim/simulator.h"
+
+namespace retest::faultsim {
+namespace {
+
+using netlist::Builder;
+using netlist::Circuit;
+using sim::FromString;
+using sim::InputSequence;
+using sim::V3;
+
+Circuit AndChain() {
+  Builder builder("andchain");
+  builder.Input("a").Input("b");
+  builder.And("g", {"a", "b"}).Dff("q", "g").Output("z", "q");
+  return builder.Build();
+}
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+InputSequence RandomSequence(Rng& rng, int width, int length) {
+  InputSequence sequence(static_cast<size_t>(length));
+  for (auto& vector : sequence) {
+    vector.resize(static_cast<size_t>(width));
+    for (auto& v : vector) v = rng.Next() & 1 ? V3::k1 : V3::k0;
+  }
+  return sequence;
+}
+
+TEST(Serial, DetectsSimpleFault) {
+  const Circuit circuit = AndChain();
+  // g s-a-0: apply 11 then observe z one cycle later.
+  const fault::Fault fault{{circuit.Find("g"), -1}, false};
+  const InputSequence sequence{FromString("11"), FromString("11")};
+  const auto detections =
+      SimulateSerial(circuit, std::span(&fault, 1), sequence);
+  ASSERT_TRUE(detections[0].detected);
+  EXPECT_EQ(detections[0].time, 1);
+}
+
+TEST(Serial, MissesWithoutPropagation) {
+  const Circuit circuit = AndChain();
+  const fault::Fault fault{{circuit.Find("g"), -1}, false};
+  // Excites nothing: inputs never produce good value 1.
+  const InputSequence sequence{FromString("10"), FromString("01")};
+  const auto detections =
+      SimulateSerial(circuit, std::span(&fault, 1), sequence);
+  EXPECT_FALSE(detections[0].detected);
+}
+
+TEST(Serial, UnknownGoodOutputNeverDetects) {
+  // Output observes the unknown state in the first cycle; a fault
+  // there must not be "detected" against X.
+  const Circuit circuit = AndChain();
+  const fault::Fault fault{{circuit.Find("q"), -1}, true};
+  const InputSequence sequence{FromString("00")};
+  const auto detections =
+      SimulateSerial(circuit, std::span(&fault, 1), sequence);
+  EXPECT_FALSE(detections[0].detected);
+}
+
+TEST(Serial, FaultySimulatorExposesState) {
+  const Circuit circuit = AndChain();
+  FaultySimulator faulty(circuit, {{circuit.Find("g"), -1}, true});
+  faulty.Reset();
+  faulty.Step(FromString("00"));
+  // Stuck-at-1 on g forces the DFF to 1 regardless of inputs.
+  EXPECT_EQ(faulty.state()[0], V3::k1);
+}
+
+TEST(Proofs, MatchesSerialOnPaperStructure) {
+  const Circuit circuit = AndChain();
+  const auto faults = fault::EnumerateFaults(circuit);
+  Rng rng{42};
+  const InputSequence sequence = RandomSequence(rng, 2, 16);
+  const auto serial = SimulateSerial(circuit, faults, sequence);
+  ProofsOptions options;
+  options.drop_detected = false;
+  const auto proofs = SimulateProofs(circuit, faults, sequence, options);
+  ASSERT_EQ(serial.size(), proofs.detections.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].detected, proofs.detections[i].detected)
+        << ToString(circuit, faults[i]);
+    if (serial[i].detected) {
+      EXPECT_EQ(serial[i].time, proofs.detections[i].time);
+    }
+  }
+}
+
+TEST(Proofs, MatchesSerialOnRandomCircuits) {
+  // Randomized cross-check over structurally varied circuits.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng{seed};
+    Builder builder("rand" + std::to_string(seed));
+    builder.Input("a").Input("b").Input("c");
+    builder.Dff("q0").Dff("q1");
+    builder.And("g0", {"a", "q0"});
+    builder.Or("g1", {"b", "q1"});
+    builder.Xor("g2", {"g0", "g1"});
+    builder.Nand("g3", {"g2", "c"});
+    builder.Nor("g4", {"g2", "g0"});
+    builder.SetDffInput("q0", "g3").SetDffInput("q1", "g4");
+    builder.Output("z0", "g2").Output("z1", "g4");
+    const Circuit circuit = builder.Build();
+
+    const auto faults = fault::EnumerateFaults(circuit);
+    const InputSequence sequence = RandomSequence(rng, 3, 24);
+    const auto serial = SimulateSerial(circuit, faults, sequence);
+    ProofsOptions options;
+    options.drop_detected = false;
+    const auto proofs = SimulateProofs(circuit, faults, sequence, options);
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].detected, proofs.detections[i].detected)
+          << "seed " << seed << ": " << ToString(circuit, faults[i]);
+    }
+  }
+}
+
+TEST(Proofs, HandlesMoreThan64Faults) {
+  // Chain wide enough to exceed one 64-fault group.
+  Builder builder("wide");
+  builder.Input("a");
+  std::string prev = "a";
+  for (int i = 0; i < 40; ++i) {
+    const std::string name = "g" + std::to_string(i);
+    builder.Buf(name, prev);
+    prev = name;
+  }
+  builder.Output("z", prev);
+  const Circuit circuit = builder.Build();
+  const auto faults = fault::EnumerateFaults(circuit);
+  ASSERT_GT(faults.size(), 64u);
+
+  const InputSequence sequence{FromString("1"), FromString("0")};
+  const auto result = SimulateProofs(circuit, faults, sequence);
+  // Every buffer-line fault is excited by one of the two vectors and
+  // propagates combinationally.
+  EXPECT_EQ(result.num_detected(), static_cast<int>(faults.size()));
+}
+
+TEST(Proofs, EmptyInputsAreSafe) {
+  const Circuit circuit = AndChain();
+  const auto result = SimulateProofs(circuit, {}, {});
+  EXPECT_EQ(result.num_detected(), 0);
+  EXPECT_TRUE(result.detections.empty());
+}
+
+TEST(Proofs, DroppingDoesNotChangeDetections) {
+  const Circuit circuit = AndChain();
+  const auto faults = fault::EnumerateFaults(circuit);
+  Rng rng{7};
+  const InputSequence sequence = RandomSequence(rng, 2, 12);
+  ProofsOptions keep;
+  keep.drop_detected = false;
+  const auto with_drop = SimulateProofs(circuit, faults, sequence);
+  const auto without_drop = SimulateProofs(circuit, faults, sequence, keep);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(with_drop.detections[i].detected,
+              without_drop.detections[i].detected);
+  }
+  EXPECT_LE(with_drop.frames_evaluated, without_drop.frames_evaluated);
+}
+
+TEST(Proofs, BranchFaultStaysLocal) {
+  Builder builder("branch");
+  builder.Input("a");
+  builder.Buf("g1", "a").Buf("g2", "a");
+  builder.Output("z1", "g1").Output("z2", "g2");
+  const Circuit circuit = builder.Build();
+  const fault::Fault branch{{circuit.Find("g1"), 0}, true};
+  const InputSequence sequence{FromString("0")};
+  const auto result = SimulateProofs(circuit, std::span(&branch, 1), sequence);
+  EXPECT_TRUE(result.detections[0].detected);  // z1 differs, z2 agrees
+}
+
+}  // namespace
+}  // namespace retest::faultsim

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "fsm/benchmarks.h"
+#include "fsm/fsm.h"
+#include "fsm/kiss_io.h"
+
+namespace retest::fsm {
+namespace {
+
+const char* kExampleKiss = R"(
+.i 2
+.o 1
+.s 2
+.r s0
+0- s0 s0 0
+1- s0 s1 1
+-0 s1 s0 0
+-1 s1 s1 1
+.e
+)";
+
+TEST(Kiss, ParsesExample) {
+  const Fsm fsm = ReadKissString(kExampleKiss, "example");
+  EXPECT_EQ(fsm.num_inputs, 2);
+  EXPECT_EQ(fsm.num_outputs, 1);
+  EXPECT_EQ(fsm.num_states(), 2);
+  EXPECT_EQ(fsm.reset_state, fsm.FindState("s0"));
+  EXPECT_EQ(fsm.transitions.size(), 4u);
+}
+
+TEST(Kiss, RoundTrip) {
+  const Fsm fsm = ReadKissString(kExampleKiss, "example");
+  const Fsm again = ReadKissString(WriteKissString(fsm), "again");
+  EXPECT_EQ(again.num_inputs, fsm.num_inputs);
+  EXPECT_EQ(again.num_outputs, fsm.num_outputs);
+  EXPECT_EQ(again.num_states(), fsm.num_states());
+  EXPECT_EQ(again.transitions.size(), fsm.transitions.size());
+  EXPECT_EQ(again.reset_state, fsm.reset_state);
+}
+
+TEST(Kiss, RejectsMalformedTransition) {
+  EXPECT_THROW(ReadKissString(".i 1\n.o 1\n0 s0\n.e\n"), std::runtime_error);
+}
+
+TEST(Kiss, RejectsUnknownDirective) {
+  EXPECT_THROW(ReadKissString(".frobnicate 3\n"), std::runtime_error);
+}
+
+TEST(Validate, CatchesWidthMismatch) {
+  Fsm fsm;
+  fsm.name = "bad";
+  fsm.num_inputs = 2;
+  fsm.num_outputs = 1;
+  fsm.AddState("s0");
+  fsm.transitions.push_back({"0", 0, 0, "1"});  // input cube too narrow
+  EXPECT_THROW(Validate(fsm), std::runtime_error);
+}
+
+TEST(Validate, CatchesNondeterminism) {
+  Fsm fsm;
+  fsm.name = "nd";
+  fsm.num_inputs = 2;
+  fsm.num_outputs = 1;
+  fsm.AddState("s0");
+  fsm.AddState("s1");
+  fsm.transitions.push_back({"1-", 0, 0, "0"});
+  fsm.transitions.push_back({"11", 0, 1, "0"});  // overlaps, different target
+  EXPECT_THROW(Validate(fsm), std::runtime_error);
+}
+
+TEST(Validate, AllowsAgreeingOverlap) {
+  Fsm fsm;
+  fsm.name = "ok";
+  fsm.num_inputs = 2;
+  fsm.num_outputs = 1;
+  fsm.AddState("s0");
+  fsm.transitions.push_back({"1-", 0, 0, "0"});
+  fsm.transitions.push_back({"11", 0, 0, "0"});
+  EXPECT_NO_THROW(Validate(fsm));
+}
+
+TEST(Complete, DetectsIncompleteness) {
+  Fsm fsm = ReadKissString(kExampleKiss, "example");
+  EXPECT_TRUE(IsCompletelySpecified(fsm));
+  fsm.transitions.pop_back();
+  EXPECT_FALSE(IsCompletelySpecified(fsm));
+}
+
+TEST(Benchmarks, TableMatchesPaper) {
+  const auto& table = PaperFsmTable();
+  ASSERT_EQ(table.size(), 6u);
+  EXPECT_STREQ(table[0].name, "dk16");
+  EXPECT_EQ(table[0].num_inputs, 3);
+  EXPECT_EQ(table[0].num_outputs, 3);
+  EXPECT_EQ(table[0].num_states, 27);
+  EXPECT_STREQ(table[5].name, "scf");
+  EXPECT_EQ(table[5].num_inputs, 27);
+  EXPECT_EQ(table[5].num_outputs, 54);
+  EXPECT_EQ(table[5].num_states, 121);
+}
+
+TEST(Benchmarks, GeneratedFsmsMatchInterface) {
+  for (const BenchmarkInfo& info : PaperFsmTable()) {
+    const Fsm fsm = MakeBenchmarkFsm(info.name);
+    EXPECT_EQ(fsm.num_inputs, info.num_inputs) << info.name;
+    EXPECT_EQ(fsm.num_outputs, info.num_outputs) << info.name;
+    EXPECT_EQ(fsm.num_states(), info.num_states) << info.name;
+    EXPECT_EQ(fsm.reset_state, 0) << info.name;
+    EXPECT_TRUE(IsCompletelySpecified(fsm)) << info.name;
+    EXPECT_NO_THROW(Validate(fsm));
+  }
+}
+
+TEST(Benchmarks, Deterministic) {
+  const Fsm a = MakeBenchmarkFsm("pma");
+  const Fsm b = MakeBenchmarkFsm("pma");
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  for (size_t i = 0; i < a.transitions.size(); ++i) {
+    EXPECT_EQ(a.transitions[i].input, b.transitions[i].input);
+    EXPECT_EQ(a.transitions[i].to, b.transitions[i].to);
+    EXPECT_EQ(a.transitions[i].output, b.transitions[i].output);
+  }
+}
+
+TEST(Benchmarks, DistinctAcrossNames) {
+  const Fsm a = MakeBenchmarkFsm("s820");
+  const Fsm b = MakeBenchmarkFsm("s832");
+  // Same interface, different machines.
+  ASSERT_EQ(a.transitions.size(), b.transitions.size());
+  bool differs = false;
+  for (size_t i = 0; i < a.transitions.size() && !differs; ++i) {
+    differs = a.transitions[i].to != b.transitions[i].to ||
+              a.transitions[i].output != b.transitions[i].output;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Benchmarks, GlobalSyncPattern) {
+  // Input pattern 0 sends every state to state 0 (the idle/reset-like
+  // transition that makes the synthesized circuits synchronizable).
+  const Fsm fsm = MakeBenchmarkFsm("dk16");
+  for (const Transition& t : fsm.transitions) {
+    if (t.input.find('1') == std::string::npos) {
+      EXPECT_EQ(t.to, 0);
+    }
+  }
+}
+
+TEST(Benchmarks, StronglyConnectedRing) {
+  // Cube 1 (input pattern 100...) of each state steps to the next
+  // state: from state 0 the ring visits every state.
+  const Fsm fsm = MakeBenchmarkFsm("dk16");
+  std::vector<bool> visited(static_cast<size_t>(fsm.num_states()), false);
+  int state = 0;
+  for (int i = 0; i < fsm.num_states(); ++i) {
+    visited[static_cast<size_t>(state)] = true;
+    bool stepped = false;
+    for (const Transition& t : fsm.transitions) {
+      if (t.from == state && t.input[0] == '1' &&
+          t.input.find('1', 1) == std::string::npos) {
+        state = t.to;
+        stepped = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(stepped);
+  }
+  for (bool v : visited) EXPECT_TRUE(v);
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(MakeBenchmarkFsm("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace retest::fsm

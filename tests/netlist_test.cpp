@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/bench_io.h"
+#include "netlist/builder.h"
+#include "netlist/check.h"
+#include "netlist/circuit.h"
+
+namespace retest::netlist {
+namespace {
+
+TEST(Circuit, AddAndLookup) {
+  Circuit circuit("c");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  const NodeId b = circuit.Add(NodeKind::kInput, "b");
+  const NodeId g = circuit.Add(NodeKind::kAnd, "g", {a, b});
+  circuit.Add(NodeKind::kOutput, "z", {g});
+
+  EXPECT_EQ(circuit.size(), 4);
+  EXPECT_EQ(circuit.Find("g"), g);
+  EXPECT_EQ(circuit.Find("nope"), kNoNode);
+  EXPECT_EQ(circuit.num_inputs(), 2);
+  EXPECT_EQ(circuit.num_outputs(), 1);
+  EXPECT_EQ(circuit.num_gates(), 1);
+  EXPECT_EQ(circuit.node(g).fanin.size(), 2u);
+}
+
+TEST(Circuit, FanoutMaintained) {
+  Circuit circuit("c");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  const NodeId g1 = circuit.Add(NodeKind::kBuf, "g1", {a});
+  const NodeId g2 = circuit.Add(NodeKind::kBuf, "g2", {a});
+  EXPECT_EQ(circuit.node(a).fanout.size(), 2u);
+  circuit.Rewire(g2, 0, g1);
+  EXPECT_EQ(circuit.node(a).fanout.size(), 1u);
+  EXPECT_EQ(circuit.node(g1).fanout.size(), 1u);
+}
+
+TEST(Circuit, DuplicatePinFanout) {
+  Circuit circuit("c");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  circuit.Add(NodeKind::kAnd, "g", {a, a});
+  // One fanout entry per connected pin.
+  EXPECT_EQ(circuit.node(a).fanout.size(), 2u);
+}
+
+TEST(Circuit, RejectsDuplicateNames) {
+  Circuit circuit("c");
+  circuit.Add(NodeKind::kInput, "a");
+  EXPECT_THROW(circuit.Add(NodeKind::kInput, "a"), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsEmptyName) {
+  Circuit circuit("c");
+  EXPECT_THROW(circuit.Add(NodeKind::kInput, ""), std::invalid_argument);
+}
+
+TEST(Circuit, FreshNameAvoidsCollisions) {
+  Circuit circuit("c");
+  circuit.Add(NodeKind::kInput, "n");
+  circuit.Add(NodeKind::kInput, "n_0");
+  EXPECT_EQ(circuit.FreshName("n"), "n_1");
+  EXPECT_EQ(circuit.FreshName("fresh"), "fresh");
+}
+
+TEST(Circuit, RebuildFanout) {
+  Circuit circuit("c");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  circuit.Add(NodeKind::kBuf, "g", {a});
+  circuit.RebuildFanout();
+  EXPECT_EQ(circuit.node(a).fanout.size(), 1u);
+}
+
+TEST(NodeKind, Predicates) {
+  EXPECT_TRUE(IsGate(NodeKind::kAnd));
+  EXPECT_TRUE(IsGate(NodeKind::kNot));
+  EXPECT_FALSE(IsGate(NodeKind::kDff));
+  EXPECT_FALSE(IsGate(NodeKind::kInput));
+  EXPECT_FALSE(IsGate(NodeKind::kConst0));
+  EXPECT_TRUE(IsVarArity(NodeKind::kNor));
+  EXPECT_FALSE(IsVarArity(NodeKind::kBuf));
+  EXPECT_EQ(ToString(NodeKind::kXnor), "XNOR");
+}
+
+TEST(Builder, BuildsFeedbackCircuit) {
+  Builder builder("loop");
+  builder.Input("x").Dff("q");
+  builder.Xor("d", {"x", "q"}).SetDffInput("q", "d").Output("z", "d");
+  const Circuit circuit = builder.Build();
+  EXPECT_TRUE(Check(circuit).ok());
+  EXPECT_EQ(circuit.num_dffs(), 1);
+}
+
+TEST(Builder, RejectsUnknownNet) {
+  Builder builder("bad");
+  builder.Input("x");
+  EXPECT_THROW(builder.And("g", {"x", "ghost"}), std::invalid_argument);
+}
+
+TEST(Builder, RejectsUnwiredDff) {
+  Builder builder("bad");
+  builder.Input("x").Dff("q");
+  EXPECT_THROW(builder.Build(), std::logic_error);
+}
+
+TEST(Builder, RejectsNonDffSetInput) {
+  Builder builder("bad");
+  builder.Input("x").Buf("b", "x");
+  EXPECT_THROW(builder.SetDffInput("b", "x"), std::invalid_argument);
+}
+
+TEST(Check, AcceptsWellFormed) {
+  Builder builder("ok");
+  builder.Input("x").Dff("q", "x").Output("z", "q");
+  EXPECT_TRUE(Check(builder.Build()).ok());
+}
+
+TEST(Check, RejectsCombinationalCycle) {
+  Circuit circuit("cyc");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  const NodeId g1 = circuit.Add(NodeKind::kOr, "g1", {a});
+  const NodeId g2 = circuit.Add(NodeKind::kAnd, "g2", {g1, a});
+  circuit.AddPin(g1, g2);  // g1 <- g2 <- g1: combinational loop
+  EXPECT_FALSE(Check(circuit).ok());
+  EXPECT_THROW(CheckOrThrow(circuit), std::runtime_error);
+}
+
+TEST(Check, AcceptsSequentialLoop) {
+  Builder builder("seq");
+  builder.Input("x").Dff("q");
+  builder.And("g", {"x", "q"}).SetDffInput("q", "g").Output("z", "g");
+  EXPECT_TRUE(Check(builder.Build()).ok());
+}
+
+TEST(Check, RejectsBadArity) {
+  Circuit circuit("bad");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  const NodeId b = circuit.Add(NodeKind::kInput, "b");
+  circuit.Add(NodeKind::kNot, "n", {a, b});  // NOT with two fanins
+  EXPECT_FALSE(Check(circuit).ok());
+}
+
+TEST(BenchIo, RoundTrip) {
+  const char* text = R"(
+# demo
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+q = DFF(d)
+g = AND(a, q)
+d = OR(g, b)
+z = NOT(d)
+)";
+  const Circuit circuit = ReadBenchString(text, "demo");
+  EXPECT_EQ(circuit.num_inputs(), 2);
+  EXPECT_EQ(circuit.num_outputs(), 1);
+  EXPECT_EQ(circuit.num_dffs(), 1);
+  EXPECT_TRUE(Check(circuit).ok());
+
+  const std::string written = WriteBenchString(circuit);
+  const Circuit again = ReadBenchString(written, "demo2");
+  EXPECT_EQ(again.num_inputs(), circuit.num_inputs());
+  EXPECT_EQ(again.num_outputs(), circuit.num_outputs());
+  EXPECT_EQ(again.num_dffs(), circuit.num_dffs());
+  EXPECT_EQ(again.num_gates(), circuit.num_gates());
+}
+
+TEST(BenchIo, GatesInAnyOrder) {
+  // d is defined after its consumer g: the reader must cope.
+  const char* text = R"(
+INPUT(a)
+OUTPUT(g)
+g = BUF(d)
+d = NOT(a)
+)";
+  const Circuit circuit = ReadBenchString(text);
+  EXPECT_TRUE(Check(circuit).ok());
+  EXPECT_EQ(circuit.num_gates(), 2);
+}
+
+TEST(BenchIo, RejectsUndefinedFanin) {
+  EXPECT_THROW(ReadBenchString("INPUT(a)\nz = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  EXPECT_THROW(ReadBenchString("INPUT(a)\nz = FROB(a)\n"), std::runtime_error);
+}
+
+TEST(BenchIo, RejectsCombinationalCycleInFile) {
+  EXPECT_THROW(ReadBenchString("INPUT(a)\nx = AND(a, y)\ny = BUF(x)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, ParsesConstants) {
+  const Circuit circuit =
+      ReadBenchString("INPUT(a)\nOUTPUT(z)\nc = CONST1\nz = AND(a, c)\n");
+  EXPECT_TRUE(Check(circuit).ok());
+}
+
+TEST(BenchIo, CommentsAndBlankLines) {
+  const Circuit circuit = ReadBenchString(
+      "# header\n\nINPUT(a)  # trailing\n\nOUTPUT(b)\nb = NOT(a)\n");
+  EXPECT_EQ(circuit.num_gates(), 1);
+}
+
+}  // namespace
+}  // namespace retest::netlist

@@ -1,0 +1,140 @@
+// Reconstructions of the paper's worked-example circuits.
+//
+// The DAC'95 paper shows Figs. 2, 3 and 5 as schematics; the exact gate
+// functions are partly implicit, so these fixtures reconstruct circuits
+// with the same sequential structure and verify the *claims* the paper
+// makes about them (space equivalence, sync-sequence preservation and
+// its failure modes, test preservation).  Each retimed partner is
+// produced by retest's own ApplyRetiming with hand-picked lags, which
+// doubles as an end-to-end check of the retiming engine.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/builder.h"
+#include "retime/apply.h"
+#include "retime/from_netlist.h"
+
+namespace retest::testing {
+
+/// Fig. 2 C1: one DFF after an OR gate; a Mealy output observing the
+/// state.  C2 (backward move across the OR) has the registers on the
+/// OR's inputs instead.
+inline netlist::Circuit MakeFig2C1() {
+  netlist::Builder builder("C1");
+  builder.Input("x1")
+      .Input("x2")
+      .Or("g", {"x1", "x2"})
+      .Dff("q", "g")
+      .And("z", {"q", "x1"})
+      .Output("Z", "z");
+  return builder.Build();
+}
+
+/// Fig. 3 L1: one DFF feeding a reconvergent fanout stem
+/// (q -> {AND branch, NOT branch}); <11> synchronizes it functionally
+/// but not structurally.
+inline netlist::Circuit MakeFig3L1() {
+  netlist::Builder builder("L1");
+  builder.Input("x1").Input("x2").Dff("q");
+  builder.Not("n", "q")
+      .And("a", {"x1", "q"})
+      .And("b", {"x2", "n"})
+      .Or("d", {"a", "b"})
+      .Output("Z", "d")
+      .SetDffInput("q", "d");
+  return builder.Build();
+}
+
+/// Fig. 5 N1: two latched inputs into AND G1, an OR G2 mixing in the
+/// third input, and an output register.
+inline netlist::Circuit MakeFig5N1() {
+  netlist::Builder builder("N1");
+  builder.Input("i1").Input("i2").Input("i3");
+  builder.Dff("q1", "i1")
+      .Dff("q2", "i2")
+      .And("g1", {"q1", "q2"})
+      .Or("g2", {"g1", "i3"})
+      .Dff("q3", "g2")
+      .Output("Z", "q3");
+  return builder.Build();
+}
+
+/// Finds a retiming-graph vertex by its diagnostic name.
+inline retime::VertexId FindVertex(const retime::Graph& graph,
+                                   const std::string& name) {
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.vertices[static_cast<size_t>(v)].name == name) return v;
+  }
+  throw std::runtime_error("FindVertex: no vertex named '" + name + "'");
+}
+
+/// Applies the retiming that moves the named vertex by `lag` (all other
+/// lags zero) and returns the build + result.
+struct RetimedPair {
+  retime::BuildResult build;
+  retime::Retiming retiming;
+  retime::ApplyResult applied;
+};
+
+inline RetimedPair RetimeSingleVertex(const netlist::Circuit& circuit,
+                                      const std::string& vertex_name, int lag,
+                                      const std::string& new_name) {
+  RetimedPair pair;
+  pair.build = retime::BuildGraph(circuit);
+  pair.retiming.lags.assign(
+      static_cast<size_t>(pair.build.graph.num_vertices()), 0);
+  pair.retiming.lags[static_cast<size_t>(
+      FindVertex(pair.build.graph, vertex_name))] = lag;
+  pair.applied =
+      retime::ApplyRetiming(circuit, pair.build, pair.retiming, new_name);
+  return pair;
+}
+
+/// Fig. 2 C2 = backward move across gate "g".
+inline RetimedPair MakeFig2Pair() {
+  return RetimeSingleVertex(MakeFig2C1(), "g", +1, "C2");
+}
+
+/// Fig. 3 L2 = forward move across the stem of net "q".
+inline RetimedPair MakeFig3Pair() {
+  return RetimeSingleVertex(MakeFig3L1(), "stem:q", -1, "L2");
+}
+
+/// Fig. 5 N2 = forward move across gate "g1".
+inline RetimedPair MakeFig5Pair() {
+  return RetimeSingleVertex(MakeFig5N1(), "g1", -1, "N2");
+}
+
+/// An Observation-4 exhibit (found by mechanical search, see
+/// tests/paper_examples_test.cpp): the reconvergent XOR keeps the
+/// 3-valued good machine pessimistic exactly long enough that the test
+/// <110, 000> detects the branch fault q0->g7 s-a-1 in K, while after a
+/// forward move across q0's fanout stem the corresponding fault on the
+/// pre-register branch segment escapes the unprefixed test.
+inline netlist::Circuit MakeObs4K() {
+  netlist::Builder builder("obs4");
+  builder.Input("x0").Input("x1").Input("x2");
+  builder.Dff("q0").Dff("q1");
+  builder.Not("g0", "x0")
+      .Xor("g1", {"q1", "q1"})  // X while q1 is unknown
+      .And("g2", {"x2", "q0"})  // second branch of q0's fanout
+      .Nand("g3", {"g0", "g1"})
+      .Nor("g4", {"x1", "g0"})
+      .Nand("g7", {"g3", "q0"})
+      .Not("g8", "g7")
+      .SetDffInput("q0", "g4")
+      .SetDffInput("q1", "g7")
+      .Output("z0", "g8")
+      .Output("z1", "g7")
+      .Output("z2", "g2");
+  return builder.Build();
+}
+
+/// The Observation-4 pair: forward move across q0's fanout stem.
+inline RetimedPair MakeObs4Pair() {
+  return RetimeSingleVertex(MakeObs4K(), "stem:q0", -1, "obs4.re");
+}
+
+}  // namespace retest::testing

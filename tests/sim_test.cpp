@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "netlist/builder.h"
+#include "sim/levelizer.h"
+#include "sim/logic3.h"
+#include "sim/parallel.h"
+#include "sim/simulator.h"
+
+namespace retest::sim {
+namespace {
+
+using netlist::Builder;
+using netlist::Circuit;
+using netlist::NodeKind;
+
+TEST(Logic3, TruthTables) {
+  EXPECT_EQ(And3(V3::k1, V3::k1), V3::k1);
+  EXPECT_EQ(And3(V3::k0, V3::kX), V3::k0);
+  EXPECT_EQ(And3(V3::k1, V3::kX), V3::kX);
+  EXPECT_EQ(Or3(V3::k1, V3::kX), V3::k1);
+  EXPECT_EQ(Or3(V3::k0, V3::kX), V3::kX);
+  EXPECT_EQ(Or3(V3::k0, V3::k0), V3::k0);
+  EXPECT_EQ(Xor3(V3::k1, V3::k0), V3::k1);
+  EXPECT_EQ(Xor3(V3::k1, V3::kX), V3::kX);
+  EXPECT_EQ(Not3(V3::kX), V3::kX);
+  EXPECT_EQ(Not3(V3::k0), V3::k1);
+}
+
+TEST(Logic3, Strings) {
+  const auto values = FromString("01x");
+  EXPECT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], V3::k0);
+  EXPECT_EQ(values[2], V3::kX);
+  EXPECT_EQ(ToString(values), "01x");
+}
+
+TEST(Logic3, GateEval) {
+  const std::vector<V3> v{V3::k1, V3::k1, V3::k0};
+  EXPECT_EQ(EvalGate3(NodeKind::kAnd, v), V3::k0);
+  EXPECT_EQ(EvalGate3(NodeKind::kNand, v), V3::k1);
+  EXPECT_EQ(EvalGate3(NodeKind::kOr, v), V3::k1);
+  EXPECT_EQ(EvalGate3(NodeKind::kNor, v), V3::k0);
+  EXPECT_EQ(EvalGate3(NodeKind::kXor, v), V3::k0);
+  EXPECT_EQ(EvalGate3(NodeKind::kXnor, v), V3::k1);
+  EXPECT_EQ(EvalGate3(NodeKind::kConst1, {}), V3::k1);
+}
+
+Circuit ToggleCircuit() {
+  Builder builder("toggle");
+  builder.Input("en").Dff("q");
+  builder.Xor("d", {"en", "q"}).SetDffInput("q", "d").Output("z", "q");
+  return builder.Build();
+}
+
+TEST(Levelizer, OrdersAndDepth) {
+  Builder builder("lvl");
+  builder.Input("a").Input("b");
+  builder.And("g1", {"a", "b"}).Not("g2", "g1").Or("g3", {"g2", "a"});
+  builder.Output("z", "g3");
+  const Circuit circuit = builder.Build();
+  const Levelization levels = Levelize(circuit);
+  EXPECT_EQ(levels.order.size(), static_cast<size_t>(circuit.size()));
+  EXPECT_EQ(levels.level[static_cast<size_t>(circuit.Find("g3"))], 3);
+  EXPECT_EQ(levels.depth, 4);  // output pin adds one level
+}
+
+TEST(Levelizer, DffBreaksCycle) {
+  const Circuit circuit = ToggleCircuit();
+  EXPECT_NO_THROW(Levelize(circuit));
+}
+
+TEST(Simulator, UnknownInitialState) {
+  const Circuit circuit = ToggleCircuit();
+  Simulator simulator(circuit);
+  simulator.Reset();
+  EXPECT_FALSE(simulator.StateIsBinary());
+  const auto out = simulator.Step(FromString("1"));
+  EXPECT_EQ(out[0], V3::kX);  // output observes the unknown state
+}
+
+TEST(Simulator, ToggleBehaviour) {
+  const Circuit circuit = ToggleCircuit();
+  Simulator simulator(circuit);
+  simulator.SetState(FromString("0"));
+  EXPECT_EQ(simulator.Step(FromString("1"))[0], V3::k0);  // Mealy: pre-clock
+  EXPECT_EQ(simulator.State(), FromString("1"));
+  EXPECT_EQ(simulator.Step(FromString("1"))[0], V3::k1);
+  EXPECT_EQ(simulator.State(), FromString("0"));
+  EXPECT_EQ(simulator.Step(FromString("0"))[0], V3::k0);
+  EXPECT_EQ(simulator.State(), FromString("0"));
+}
+
+TEST(Simulator, RunMatchesRepeatedStep) {
+  const Circuit circuit = ToggleCircuit();
+  Simulator a(circuit);
+  Simulator b(circuit);
+  a.SetState(FromString("0"));
+  b.SetState(FromString("0"));
+  InputSequence sequence{FromString("1"), FromString("0"), FromString("1")};
+  const auto outputs = a.Run(sequence);
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    EXPECT_EQ(outputs[t], b.Step(sequence[t]));
+  }
+}
+
+TEST(Simulator, RejectsWrongWidths) {
+  const Circuit circuit = ToggleCircuit();
+  Simulator simulator(circuit);
+  EXPECT_THROW(simulator.Step(FromString("10")), std::invalid_argument);
+  EXPECT_THROW(simulator.SetState(FromString("00")), std::invalid_argument);
+}
+
+TEST(Word3, BroadcastAndLanes) {
+  Word3 w = Word3::Broadcast(V3::k1);
+  EXPECT_EQ(w.Lane(0), V3::k1);
+  EXPECT_EQ(w.Lane(63), V3::k1);
+  w.SetLane(5, false);
+  EXPECT_EQ(w.Lane(5), V3::k0);
+  EXPECT_EQ(w.Lane(6), V3::k1);
+  const Word3 x = Word3::Broadcast(V3::kX);
+  EXPECT_EQ(x.Lane(17), V3::kX);
+}
+
+TEST(Word3, MatchesScalarAlgebra) {
+  const V3 values[] = {V3::k0, V3::k1, V3::kX};
+  for (V3 a : values) {
+    for (V3 b : values) {
+      const Word3 wa = Word3::Broadcast(a);
+      const Word3 wb = Word3::Broadcast(b);
+      EXPECT_EQ(And64(wa, wb).Lane(7), And3(a, b));
+      EXPECT_EQ(Or64(wa, wb).Lane(7), Or3(a, b));
+      EXPECT_EQ(Xor64(wa, wb).Lane(7), Xor3(a, b));
+      EXPECT_EQ(Not64(wa).Lane(7), Not3(a));
+    }
+  }
+}
+
+TEST(ParallelFrame, MatchesScalarSimulator) {
+  const Circuit circuit = ToggleCircuit();
+  Simulator scalar(circuit);
+  scalar.Reset();
+  ParallelFrame frame(circuit);
+  std::vector<Word3> state(1, Word3::Broadcast(V3::kX));
+
+  const InputSequence sequence{FromString("1"), FromString("0"),
+                               FromString("1"), FromString("1")};
+  for (const auto& vector : sequence) {
+    const auto scalar_out = scalar.Step(vector);
+    frame.Step(vector, state);
+    for (size_t o = 0; o < scalar_out.size(); ++o) {
+      EXPECT_EQ(frame.value(circuit.outputs()[o]).Lane(0), scalar_out[o]);
+      EXPECT_EQ(frame.value(circuit.outputs()[o]).Lane(63), scalar_out[o]);
+    }
+  }
+}
+
+TEST(ParallelFrame, BranchInjectionIsLocal) {
+  // a fans out to g1 and g2; forcing only g1's view must leave g2
+  // untouched.
+  Builder builder("br");
+  builder.Input("a");
+  builder.Buf("g1", "a").Buf("g2", "a");
+  builder.Output("z1", "g1").Output("z2", "g2");
+  const Circuit circuit = builder.Build();
+
+  ParallelFrame frame(circuit);
+  const Injection injection{circuit.Find("g1"), 0, true, 3};
+  frame.SetInjections({&injection, 1});
+  std::vector<Word3> state;
+  frame.Step(FromString("0"), state);
+  EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(3), V3::k1);
+  EXPECT_EQ(frame.value(circuit.Find("g2")).Lane(3), V3::k0);
+  EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(0), V3::k0);
+}
+
+TEST(ParallelFrame, StemInjectionAffectsAllSinks) {
+  Builder builder("st");
+  builder.Input("a");
+  builder.Buf("g1", "a").Buf("g2", "a");
+  builder.Output("z1", "g1").Output("z2", "g2");
+  const Circuit circuit = builder.Build();
+
+  ParallelFrame frame(circuit);
+  const Injection injection{circuit.Find("a"), -1, true, 9};
+  frame.SetInjections({&injection, 1});
+  std::vector<Word3> state;
+  frame.Step(FromString("0"), state);
+  EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(9), V3::k1);
+  EXPECT_EQ(frame.value(circuit.Find("g2")).Lane(9), V3::k1);
+  EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(0), V3::k0);
+}
+
+}  // namespace
+}  // namespace retest::sim

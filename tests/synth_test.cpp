@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "fsm/benchmarks.h"
+#include "netlist/check.h"
+#include "sim/simulator.h"
+#include "synth/cover.h"
+#include "synth/encode.h"
+#include "synth/synthesize.h"
+
+namespace retest::synth {
+namespace {
+
+using sim::V3;
+
+TEST(Cube, ContainsAndIntersects) {
+  const Cube wide = CubeFromString("1--");
+  const Cube narrow = CubeFromString("10-");
+  const Cube other = CubeFromString("0--");
+  EXPECT_TRUE(wide.Contains(narrow));
+  EXPECT_FALSE(narrow.Contains(wide));
+  EXPECT_TRUE(wide.Intersects(narrow));
+  EXPECT_FALSE(wide.Intersects(other));
+  EXPECT_EQ(wide.size(), 1);
+  EXPECT_EQ(narrow.size(), 2);
+}
+
+TEST(Cube, Matches) {
+  const Cube cube = CubeFromString("1-0");
+  EXPECT_TRUE(cube.Matches(0b001));   // var0=1, var2=0
+  EXPECT_TRUE(cube.Matches(0b011));
+  EXPECT_FALSE(cube.Matches(0b101));  // var2=1
+  EXPECT_FALSE(cube.Matches(0b000));
+}
+
+TEST(Cube, FromStringRejectsBadChars) {
+  EXPECT_THROW(CubeFromString("1?0"), std::invalid_argument);
+}
+
+TEST(Cover, MergeAdjacent) {
+  Cube merged;
+  EXPECT_TRUE(
+      TryMergeAdjacent(CubeFromString("10"), CubeFromString("11"), merged));
+  EXPECT_EQ(merged, CubeFromString("1-"));
+  EXPECT_FALSE(
+      TryMergeAdjacent(CubeFromString("10"), CubeFromString("01"), merged));
+  EXPECT_FALSE(
+      TryMergeAdjacent(CubeFromString("1-"), CubeFromString("11"), merged));
+}
+
+TEST(Cover, MinimizePreservesFunction) {
+  // f = minterms of a 3-var majority function.
+  Cover cover{CubeFromString("110"), CubeFromString("101"),
+              CubeFromString("011"), CubeFromString("111")};
+  Cover minimized = cover;
+  MinimizeCover(minimized);
+  EXPECT_LT(minimized.size(), cover.size());
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(Evaluate(minimized, a), Evaluate(cover, a)) << a;
+  }
+}
+
+TEST(Cover, MinimizeCollapsesFullSpace) {
+  Cover cover{CubeFromString("0"), CubeFromString("1")};
+  MinimizeCover(cover);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].care, 0u);  // tautology
+}
+
+TEST(Encode, MinimalWidthAndDistinctCodes) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  for (EncodingStyle style :
+       {EncodingStyle::kOutputDominant, EncodingStyle::kInputDominant,
+        EncodingStyle::kCombined}) {
+    const Encoding encoding = EncodeStates(machine, style);
+    EXPECT_EQ(encoding.bits, 5);  // 27 states -> 5 bits
+    std::vector<bool> used(32, false);
+    for (std::uint32_t code : encoding.code_of) {
+      ASSERT_LT(code, 32u);
+      EXPECT_FALSE(used[code]) << "duplicate code";
+      used[code] = true;
+    }
+  }
+}
+
+TEST(Encode, ResetStateGetsCodeZero) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("pma");
+  const Encoding encoding =
+      EncodeStates(machine, EncodingStyle::kOutputDominant);
+  EXPECT_EQ(encoding.code_of[0], 0u);
+}
+
+TEST(Encode, StylesDiffer) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  const Encoding jo = EncodeStates(machine, EncodingStyle::kOutputDominant);
+  const Encoding ji = EncodeStates(machine, EncodingStyle::kInputDominant);
+  EXPECT_NE(jo.code_of, ji.code_of);
+}
+
+TEST(Synthesize, NamesFollowPaperConvention) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  SynthesisOptions options;
+  options.encoding = EncodingStyle::kInputDominant;
+  options.script = ScriptStyle::kDelay;
+  EXPECT_EQ(CircuitName(machine, options), "dk16.ji.sd");
+}
+
+/// Reference FSM stepper: returns (output bits, next state index).
+std::pair<std::uint64_t, int> FsmStep(const fsm::Fsm& machine, int state,
+                                      int input_bits) {
+  for (const fsm::Transition& t : machine.transitions) {
+    if (t.from != state) continue;
+    bool match = true;
+    for (int i = 0; i < machine.num_inputs && match; ++i) {
+      const char c = t.input[static_cast<size_t>(i)];
+      if (c == '-') continue;
+      if (((input_bits >> i) & 1) != (c == '1')) match = false;
+    }
+    if (!match) continue;
+    std::uint64_t out = 0;
+    for (int o = 0; o < machine.num_outputs; ++o) {
+      if (t.output[static_cast<size_t>(o)] == '1') out |= 1ull << o;
+    }
+    return {out, t.to};
+  }
+  return {0, state};  // unspecified: hold, output 0
+}
+
+void CheckBehaviour(const fsm::Fsm& machine, const SynthesisOptions& options) {
+  const netlist::Circuit circuit = Synthesize(machine, options);
+  EXPECT_TRUE(netlist::Check(circuit).ok());
+  const Encoding encoding = EncodeStates(machine, options.encoding);
+  EXPECT_EQ(circuit.num_dffs(), encoding.bits);
+  const int expected_inputs =
+      machine.num_inputs + (options.explicit_reset ? 1 : 0);
+  EXPECT_EQ(circuit.num_inputs(), expected_inputs);
+  EXPECT_EQ(circuit.num_outputs(), machine.num_outputs);
+
+  sim::Simulator simulator(circuit);
+  for (int state = 0; state < machine.num_states(); ++state) {
+    for (int input = 0; input < (1 << machine.num_inputs); ++input) {
+      std::vector<V3> dff_state(static_cast<size_t>(encoding.bits));
+      const std::uint32_t code = encoding.code_of[static_cast<size_t>(state)];
+      for (int b = 0; b < encoding.bits; ++b) {
+        dff_state[static_cast<size_t>(b)] =
+            (code >> b) & 1 ? V3::k1 : V3::k0;
+      }
+      simulator.SetState(dff_state);
+      std::vector<V3> inputs(static_cast<size_t>(expected_inputs), V3::k0);
+      for (int i = 0; i < machine.num_inputs; ++i) {
+        inputs[static_cast<size_t>(i)] = (input >> i) & 1 ? V3::k1 : V3::k0;
+      }
+      const auto outputs = simulator.Step(inputs);
+
+      const auto [expected_out, expected_next] = FsmStep(machine, state, input);
+      for (int o = 0; o < machine.num_outputs; ++o) {
+        EXPECT_EQ(outputs[static_cast<size_t>(o)],
+                  (expected_out >> o) & 1 ? V3::k1 : V3::k0)
+            << "state " << state << " input " << input << " output " << o;
+      }
+      const std::uint32_t expected_code =
+          encoding.code_of[static_cast<size_t>(expected_next)];
+      const auto next_state = simulator.State();
+      for (int b = 0; b < encoding.bits; ++b) {
+        EXPECT_EQ(next_state[static_cast<size_t>(b)],
+                  (expected_code >> b) & 1 ? V3::k1 : V3::k0)
+            << "state " << state << " input " << input << " bit " << b;
+      }
+    }
+  }
+}
+
+TEST(Synthesize, Dk16DelayScriptMatchesFsm) {
+  SynthesisOptions options;
+  options.encoding = EncodingStyle::kCombined;
+  options.script = ScriptStyle::kDelay;
+  CheckBehaviour(fsm::MakeBenchmarkFsm("dk16"), options);
+}
+
+TEST(Synthesize, Dk16RuggedScriptMatchesFsm) {
+  SynthesisOptions options;
+  options.encoding = EncodingStyle::kOutputDominant;
+  options.script = ScriptStyle::kRugged;
+  CheckBehaviour(fsm::MakeBenchmarkFsm("dk16"), options);
+}
+
+TEST(Synthesize, ExplicitResetForcesResetState) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  SynthesisOptions options;
+  options.explicit_reset = true;
+  const netlist::Circuit circuit = Synthesize(machine, options);
+  const Encoding encoding = EncodeStates(machine, options.encoding);
+
+  sim::Simulator simulator(circuit);
+  simulator.Reset();  // all-X state
+  std::vector<V3> inputs(static_cast<size_t>(circuit.num_inputs()), V3::k0);
+  inputs.back() = V3::k1;  // rst is the last input
+  simulator.Step(inputs);
+  // One reset cycle synchronizes to the reset state's code.
+  const auto state = simulator.State();
+  const std::uint32_t code =
+      encoding.code_of[static_cast<size_t>(machine.reset_state)];
+  for (int b = 0; b < encoding.bits; ++b) {
+    EXPECT_EQ(state[static_cast<size_t>(b)],
+              (code >> b) & 1 ? V3::k1 : V3::k0);
+  }
+}
+
+TEST(Synthesize, ScriptsTradeOffDepthAndSize) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  SynthesisOptions delay;
+  delay.script = ScriptStyle::kDelay;
+  SynthesisOptions rugged;
+  rugged.script = ScriptStyle::kRugged;
+  const netlist::Circuit fast = Synthesize(machine, delay);
+  const netlist::Circuit small = Synthesize(machine, rugged);
+  const auto depth_of = [](const netlist::Circuit& circuit) {
+    return sim::Levelize(circuit).depth;
+  };
+  // Rugged shares logic at the cost of depth.  The Shannon state
+  // decomposition keeps the leaf cones small, so the gate-count gap is
+  // modest; assert the depth relation strictly and the size relation
+  // within a small tolerance.
+  EXPECT_LE(small.num_gates(), fast.num_gates() + fast.num_gates() / 20);
+  EXPECT_GE(depth_of(small), depth_of(fast));
+}
+
+TEST(Synthesize, EncodingsChangeStructure) {
+  const fsm::Fsm machine = fsm::MakeBenchmarkFsm("dk16");
+  SynthesisOptions jo;
+  jo.encoding = EncodingStyle::kOutputDominant;
+  SynthesisOptions ji;
+  ji.encoding = EncodingStyle::kInputDominant;
+  const netlist::Circuit a = Synthesize(machine, jo);
+  const netlist::Circuit b = Synthesize(machine, ji);
+  EXPECT_NE(a.num_gates(), b.num_gates());
+}
+
+}  // namespace
+}  // namespace retest::synth
