@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_faultsim.dir/ablation_faultsim.cpp.o"
+  "CMakeFiles/ablation_faultsim.dir/ablation_faultsim.cpp.o.d"
+  "ablation_faultsim"
+  "ablation_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_necessity.dir/ablation_prefix_necessity.cpp.o"
+  "CMakeFiles/ablation_prefix_necessity.dir/ablation_prefix_necessity.cpp.o.d"
+  "ablation_prefix_necessity"
+  "ablation_prefix_necessity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_necessity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

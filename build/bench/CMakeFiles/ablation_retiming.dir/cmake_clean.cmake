@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retiming.dir/ablation_retiming.cpp.o"
+  "CMakeFiles/ablation_retiming.dir/ablation_retiming.cpp.o.d"
+  "ablation_retiming"
+  "ablation_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

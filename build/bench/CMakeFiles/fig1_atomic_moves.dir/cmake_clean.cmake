@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_atomic_moves.dir/fig1_atomic_moves.cpp.o"
+  "CMakeFiles/fig1_atomic_moves.dir/fig1_atomic_moves.cpp.o.d"
+  "fig1_atomic_moves"
+  "fig1_atomic_moves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_atomic_moves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_space_equivalence.dir/fig2_space_equivalence.cpp.o"
+  "CMakeFiles/fig2_space_equivalence.dir/fig2_space_equivalence.cpp.o.d"
+  "fig2_space_equivalence"
+  "fig2_space_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_space_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sync_sequences.dir/fig3_sync_sequences.cpp.o"
+  "CMakeFiles/fig3_sync_sequences.dir/fig3_sync_sequences.cpp.o.d"
+  "fig3_sync_sequences"
+  "fig3_sync_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sync_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

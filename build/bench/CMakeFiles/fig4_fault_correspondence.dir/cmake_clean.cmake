@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fault_correspondence.dir/fig4_fault_correspondence.cpp.o"
+  "CMakeFiles/fig4_fault_correspondence.dir/fig4_fault_correspondence.cpp.o.d"
+  "fig4_fault_correspondence"
+  "fig4_fault_correspondence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fault_correspondence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

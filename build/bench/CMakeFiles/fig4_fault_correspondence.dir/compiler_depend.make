@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_fault_correspondence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_faulty_sync.dir/fig5_faulty_sync.cpp.o"
+  "CMakeFiles/fig5_faulty_sync.dir/fig5_faulty_sync.cpp.o.d"
+  "fig5_faulty_sync"
+  "fig5_faulty_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_faulty_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

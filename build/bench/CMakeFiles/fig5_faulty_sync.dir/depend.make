@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_faulty_sync.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_retime_for_test_flow.dir/fig6_retime_for_test_flow.cpp.o"
+  "CMakeFiles/fig6_retime_for_test_flow.dir/fig6_retime_for_test_flow.cpp.o.d"
+  "fig6_retime_for_test_flow"
+  "fig6_retime_for_test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_retime_for_test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_retime_for_test_flow.
+# This may be replaced when dependencies are built.

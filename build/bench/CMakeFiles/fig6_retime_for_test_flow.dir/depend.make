@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_retime_for_test_flow.
+# This may be replaced when dependencies are built.

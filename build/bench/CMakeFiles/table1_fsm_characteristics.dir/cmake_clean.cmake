@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fsm_characteristics.dir/table1_fsm_characteristics.cpp.o"
+  "CMakeFiles/table1_fsm_characteristics.dir/table1_fsm_characteristics.cpp.o.d"
+  "table1_fsm_characteristics"
+  "table1_fsm_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fsm_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

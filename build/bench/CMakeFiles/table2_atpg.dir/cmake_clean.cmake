@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_atpg.dir/table2_atpg.cpp.o"
+  "CMakeFiles/table2_atpg.dir/table2_atpg.cpp.o.d"
+  "table2_atpg"
+  "table2_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_fault_simulation.dir/table3_fault_simulation.cpp.o"
+  "CMakeFiles/table3_fault_simulation.dir/table3_fault_simulation.cpp.o.d"
+  "table3_fault_simulation"
+  "table3_fault_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_fault_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_examples.dir/paper_examples.cpp.o"
+  "CMakeFiles/example_paper_examples.dir/paper_examples.cpp.o.d"
+  "example_paper_examples"
+  "example_paper_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

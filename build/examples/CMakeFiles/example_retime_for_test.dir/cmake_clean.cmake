@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_retime_for_test.dir/retime_for_test.cpp.o"
+  "CMakeFiles/example_retime_for_test.dir/retime_for_test.cpp.o.d"
+  "example_retime_for_test"
+  "example_retime_for_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_retime_for_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sync_sequences.dir/sync_sequences.cpp.o"
+  "CMakeFiles/example_sync_sequences.dir/sync_sequences.cpp.o.d"
+  "example_sync_sequences"
+  "example_sync_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sync_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sync_sequences.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/engine.cpp" "src/CMakeFiles/retest.dir/atpg/engine.cpp.o" "gcc" "src/CMakeFiles/retest.dir/atpg/engine.cpp.o.d"
+  "/root/repo/src/atpg/justify.cpp" "src/CMakeFiles/retest.dir/atpg/justify.cpp.o" "gcc" "src/CMakeFiles/retest.dir/atpg/justify.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/CMakeFiles/retest.dir/atpg/podem.cpp.o" "gcc" "src/CMakeFiles/retest.dir/atpg/podem.cpp.o.d"
+  "/root/repo/src/atpg/unrolled.cpp" "src/CMakeFiles/retest.dir/atpg/unrolled.cpp.o" "gcc" "src/CMakeFiles/retest.dir/atpg/unrolled.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/retest.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/retest.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/preserve.cpp" "src/CMakeFiles/retest.dir/core/preserve.cpp.o" "gcc" "src/CMakeFiles/retest.dir/core/preserve.cpp.o.d"
+  "/root/repo/src/core/syncseq.cpp" "src/CMakeFiles/retest.dir/core/syncseq.cpp.o" "gcc" "src/CMakeFiles/retest.dir/core/syncseq.cpp.o.d"
+  "/root/repo/src/core/testset.cpp" "src/CMakeFiles/retest.dir/core/testset.cpp.o" "gcc" "src/CMakeFiles/retest.dir/core/testset.cpp.o.d"
+  "/root/repo/src/fault/collapse.cpp" "src/CMakeFiles/retest.dir/fault/collapse.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fault/collapse.cpp.o.d"
+  "/root/repo/src/fault/correspondence.cpp" "src/CMakeFiles/retest.dir/fault/correspondence.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fault/correspondence.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/retest.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/faultsim/proofs.cpp" "src/CMakeFiles/retest.dir/faultsim/proofs.cpp.o" "gcc" "src/CMakeFiles/retest.dir/faultsim/proofs.cpp.o.d"
+  "/root/repo/src/faultsim/serial.cpp" "src/CMakeFiles/retest.dir/faultsim/serial.cpp.o" "gcc" "src/CMakeFiles/retest.dir/faultsim/serial.cpp.o.d"
+  "/root/repo/src/fsm/benchmarks.cpp" "src/CMakeFiles/retest.dir/fsm/benchmarks.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fsm/benchmarks.cpp.o.d"
+  "/root/repo/src/fsm/fsm.cpp" "src/CMakeFiles/retest.dir/fsm/fsm.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fsm/fsm.cpp.o.d"
+  "/root/repo/src/fsm/kiss_io.cpp" "src/CMakeFiles/retest.dir/fsm/kiss_io.cpp.o" "gcc" "src/CMakeFiles/retest.dir/fsm/kiss_io.cpp.o.d"
+  "/root/repo/src/netlist/bench_io.cpp" "src/CMakeFiles/retest.dir/netlist/bench_io.cpp.o" "gcc" "src/CMakeFiles/retest.dir/netlist/bench_io.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/retest.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/retest.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/check.cpp" "src/CMakeFiles/retest.dir/netlist/check.cpp.o" "gcc" "src/CMakeFiles/retest.dir/netlist/check.cpp.o.d"
+  "/root/repo/src/netlist/circuit.cpp" "src/CMakeFiles/retest.dir/netlist/circuit.cpp.o" "gcc" "src/CMakeFiles/retest.dir/netlist/circuit.cpp.o.d"
+  "/root/repo/src/retime/apply.cpp" "src/CMakeFiles/retest.dir/retime/apply.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/apply.cpp.o.d"
+  "/root/repo/src/retime/from_netlist.cpp" "src/CMakeFiles/retest.dir/retime/from_netlist.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/from_netlist.cpp.o.d"
+  "/root/repo/src/retime/graph.cpp" "src/CMakeFiles/retest.dir/retime/graph.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/graph.cpp.o.d"
+  "/root/repo/src/retime/leiserson_saxe.cpp" "src/CMakeFiles/retest.dir/retime/leiserson_saxe.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/leiserson_saxe.cpp.o.d"
+  "/root/repo/src/retime/minreg.cpp" "src/CMakeFiles/retest.dir/retime/minreg.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/minreg.cpp.o.d"
+  "/root/repo/src/retime/moves.cpp" "src/CMakeFiles/retest.dir/retime/moves.cpp.o" "gcc" "src/CMakeFiles/retest.dir/retime/moves.cpp.o.d"
+  "/root/repo/src/sim/levelizer.cpp" "src/CMakeFiles/retest.dir/sim/levelizer.cpp.o" "gcc" "src/CMakeFiles/retest.dir/sim/levelizer.cpp.o.d"
+  "/root/repo/src/sim/parallel.cpp" "src/CMakeFiles/retest.dir/sim/parallel.cpp.o" "gcc" "src/CMakeFiles/retest.dir/sim/parallel.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/retest.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/retest.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stg/containment.cpp" "src/CMakeFiles/retest.dir/stg/containment.cpp.o" "gcc" "src/CMakeFiles/retest.dir/stg/containment.cpp.o.d"
+  "/root/repo/src/stg/equivalence.cpp" "src/CMakeFiles/retest.dir/stg/equivalence.cpp.o" "gcc" "src/CMakeFiles/retest.dir/stg/equivalence.cpp.o.d"
+  "/root/repo/src/stg/stg.cpp" "src/CMakeFiles/retest.dir/stg/stg.cpp.o" "gcc" "src/CMakeFiles/retest.dir/stg/stg.cpp.o.d"
+  "/root/repo/src/synth/cover.cpp" "src/CMakeFiles/retest.dir/synth/cover.cpp.o" "gcc" "src/CMakeFiles/retest.dir/synth/cover.cpp.o.d"
+  "/root/repo/src/synth/encode.cpp" "src/CMakeFiles/retest.dir/synth/encode.cpp.o" "gcc" "src/CMakeFiles/retest.dir/synth/encode.cpp.o.d"
+  "/root/repo/src/synth/scripts.cpp" "src/CMakeFiles/retest.dir/synth/scripts.cpp.o" "gcc" "src/CMakeFiles/retest.dir/synth/scripts.cpp.o.d"
+  "/root/repo/src/synth/synthesize.cpp" "src/CMakeFiles/retest.dir/synth/synthesize.cpp.o" "gcc" "src/CMakeFiles/retest.dir/synth/synthesize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

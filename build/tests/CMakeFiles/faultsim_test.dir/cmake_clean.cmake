@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_test.dir/faultsim_test.cpp.o"
+  "CMakeFiles/faultsim_test.dir/faultsim_test.cpp.o.d"
+  "faultsim_test"
+  "faultsim_test.pdb"
+  "faultsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
