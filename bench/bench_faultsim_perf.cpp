@@ -1,0 +1,303 @@
+// Fault-simulation throughput harness.
+//
+// Times three engines on the Table III circuits (original and retimed
+// stand-in machines): the scalar serial reference, the full-evaluation
+// 64-way PROOFS engine (every node, every frame, one thread), and the
+// cone-restricted multi-threaded engine that is now the default.
+// Emits BENCH_faultsim.json (frames/sec, gate-evals/frame, speedups,
+// thread scaling) into the current directory so the perf trajectory is
+// tracked from PR 1 onward, and cross-checks that all engines agree on
+// every detection before reporting anything.
+//
+// Modes:
+//   (default)           4 circuit variants, 256-vector sequences
+//   REPRO_FULL=1        all 16 variants
+//   --smoke             1 variant, short sequences (ctest budget);
+//                       exit code is the equivalence verdict
+// REPRO_THREADS=N overrides the default thread count everywhere.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "experiments.h"
+#include "fault/collapse.h"
+#include "faultsim/proofs.h"
+#include "faultsim/serial.h"
+
+namespace {
+
+using namespace retest;
+
+double TimeMs(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+sim::InputSequence RandomSequence(const netlist::Circuit& circuit, int length,
+                                  std::uint64_t seed) {
+  sim::InputSequence sequence;
+  std::uint64_t state = seed;
+  for (int t = 0; t < length; ++t) {
+    std::vector<sim::V3> vector(static_cast<size_t>(circuit.num_inputs()));
+    for (auto& v : vector) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      v = (state >> 33) & 1 ? sim::V3::k1 : sim::V3::k0;
+    }
+    sequence.push_back(std::move(vector));
+  }
+  return sequence;
+}
+
+struct EngineStats {
+  double ms = 0;
+  long frames = 0;
+  long gate_evals = 0;
+  int detected = 0;
+
+  double FramesPerSec() const {
+    return ms > 0 ? 1000.0 * static_cast<double>(frames) / ms : 0;
+  }
+  double GateEvalsPerFrame() const {
+    return frames > 0 ? static_cast<double>(gate_evals) /
+                            static_cast<double>(frames)
+                      : 0;
+  }
+};
+
+struct CircuitReport {
+  std::string name;
+  const char* role;  // "original" | "retimed"
+  int num_nodes = 0;
+  int num_faults = 0;
+  int sequence_length = 0;
+  int serial_faults = 0;  // serial baseline is timed on a capped subset
+  double serial_ms = 0;
+  EngineStats full;          // full evaluation, 1 thread (old engine)
+  EngineStats cone_1t;       // cone-restricted, 1 thread
+  EngineStats cone_default;  // cone-restricted, default threads
+  bool equivalent = true;
+};
+
+EngineStats RunProofs(const netlist::Circuit& circuit,
+                      std::span<const fault::Fault> faults,
+                      const sim::InputSequence& sequence,
+                      const faultsim::ProofsOptions& options, int reps,
+                      faultsim::ProofsResult* out = nullptr) {
+  EngineStats stats;
+  faultsim::ProofsResult result;
+  stats.ms = TimeMs(
+      [&] { result = faultsim::SimulateProofs(circuit, faults, sequence,
+                                              options); },
+      reps);
+  stats.frames = result.frames_evaluated;
+  stats.gate_evals = result.gate_evals;
+  stats.detected = result.num_detected();
+  if (out) *out = std::move(result);
+  return stats;
+}
+
+bool SameDetections(const std::vector<faultsim::Detection>& a,
+                    const std::vector<faultsim::Detection>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+void EmitJson(const std::vector<CircuitReport>& reports,
+              const std::vector<std::pair<int, double>>& scaling,
+              int default_threads, bool smoke) {
+  std::FILE* f = std::fopen("BENCH_faultsim.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
+    return;
+  }
+  auto engine = [&](const char* key, const EngineStats& s, bool last) {
+    std::fprintf(f,
+                 "      \"%s\": {\"ms\": %.3f, \"frames\": %ld, "
+                 "\"frames_per_sec\": %.1f, \"gate_evals_per_frame\": %.1f, "
+                 "\"detected\": %d}%s\n",
+                 key, s.ms, s.frames, s.FramesPerSec(), s.GateEvalsPerFrame(),
+                 s.detected, last ? "" : ",");
+  };
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"default_threads\": %d,\n",
+               smoke ? "smoke" : "full", default_threads);
+  std::fprintf(f, "  \"circuits\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const CircuitReport& r = reports[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"role\": \"%s\",\n",
+                 r.name.c_str(), r.role);
+    std::fprintf(f,
+                 "     \"nodes\": %d, \"faults\": %d, \"frames\": %d,\n",
+                 r.num_nodes, r.num_faults, r.sequence_length);
+    std::fprintf(f,
+                 "     \"serial\": {\"ms\": %.3f, \"faults_timed\": %d},\n",
+                 r.serial_ms, r.serial_faults);
+    std::fprintf(f, "     \"engines\": {\n");
+    engine("proofs_full_1t", r.full, false);
+    engine("proofs_cone_1t", r.cone_1t, false);
+    engine("proofs_cone_default", r.cone_default, true);
+    std::fprintf(f, "     },\n");
+    std::fprintf(
+        f,
+        "     \"speedup_cone_default_vs_full\": %.2f, "
+        "\"speedup_cone_1t_vs_full\": %.2f, \"equivalent\": %s}%s\n",
+        r.cone_default.ms > 0 ? r.full.ms / r.cone_default.ms : 0,
+        r.cone_1t.ms > 0 ? r.full.ms / r.cone_1t.ms : 0,
+        r.equivalent ? "true" : "false",
+        i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"thread_scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(f, "    {\"threads\": %d, \"ms\": %.3f}%s\n",
+                 scaling[i].first, scaling[i].second,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int default_threads = core::ThreadPool::DefaultThreadCount();
+  const auto& variants = bench::Table2Variants();
+  const size_t num_variants =
+      smoke ? 1 : (bench::FullMode() ? variants.size() : 4);
+  const int sequence_length = smoke ? 48 : 256;
+  const int reps = smoke ? 1 : 3;
+  const size_t serial_cap = smoke ? 64 : 256;
+
+  std::printf("fault-simulation throughput (threads=%d%s)\n", default_threads,
+              smoke ? ", --smoke" : "");
+  std::printf("%-14s %-9s | %8s %7s | %9s %9s %9s | %7s %7s\n", "circuit",
+              "role", "faults", "nodes", "full ms", "cone1 ms", "coneN ms",
+              "evals/f", "speedup");
+
+  std::vector<CircuitReport> reports;
+  bool all_equivalent = true;
+  for (size_t v = 0; v < num_variants; ++v) {
+    const bench::Prepared prepared = bench::PrepareVariant(variants[v]);
+    for (const auto* role : {"original", "retimed"}) {
+      const netlist::Circuit& circuit = std::strcmp(role, "original") == 0
+                                            ? prepared.original
+                                            : prepared.retimed;
+      const auto collapsed = fault::Collapse(circuit);
+      const auto& faults = collapsed.representatives;
+      const sim::InputSequence sequence =
+          RandomSequence(circuit, sequence_length, 42 + v);
+
+      CircuitReport report;
+      report.name = circuit.name();
+      report.role = role;
+      report.num_nodes = circuit.size();
+      report.num_faults = static_cast<int>(faults.size());
+      report.sequence_length = static_cast<int>(sequence.size());
+
+      // Serial reference on a capped subset (it is orders of magnitude
+      // slower; the cap keeps the harness runnable while still timing
+      // real work).
+      report.serial_faults =
+          static_cast<int>(std::min(serial_cap, faults.size()));
+      const std::span<const fault::Fault> serial_span(
+          faults.data(), static_cast<size_t>(report.serial_faults));
+      std::vector<faultsim::Detection> serial_detections;
+      report.serial_ms = TimeMs(
+          [&] {
+            serial_detections =
+                faultsim::SimulateSerial(circuit, serial_span, sequence);
+          },
+          1);
+
+      faultsim::ProofsOptions full;
+      full.cone_restricted = false;
+      full.sort_faults = false;
+      full.num_threads = 1;
+      faultsim::ProofsOptions cone1;
+      cone1.num_threads = 1;
+      faultsim::ProofsOptions coneN;
+      coneN.num_threads = 0;  // default / REPRO_THREADS
+
+      faultsim::ProofsResult full_result, cone1_result, coneN_result;
+      report.full =
+          RunProofs(circuit, faults, sequence, full, reps, &full_result);
+      report.cone_1t =
+          RunProofs(circuit, faults, sequence, cone1, reps, &cone1_result);
+      report.cone_default =
+          RunProofs(circuit, faults, sequence, coneN, reps, &coneN_result);
+
+      // Engine equivalence: all three PROOFS configurations agree
+      // everywhere, and the serial reference agrees on its subset.
+      report.equivalent =
+          SameDetections(full_result.detections, cone1_result.detections) &&
+          SameDetections(full_result.detections, coneN_result.detections);
+      for (size_t i = 0; i < serial_detections.size() && report.equivalent;
+           ++i) {
+        if (!(serial_detections[i] == full_result.detections[i])) {
+          report.equivalent = false;
+        }
+      }
+      all_equivalent = all_equivalent && report.equivalent;
+
+      std::printf(
+          "%-14s %-9s | %8d %7d | %9.2f %9.2f %9.2f | %7.0f %6.2fx%s\n",
+          report.name.c_str(), role, report.num_faults, report.num_nodes,
+          report.full.ms, report.cone_1t.ms, report.cone_default.ms,
+          report.cone_default.GateEvalsPerFrame(),
+          report.cone_default.ms > 0 ? report.full.ms / report.cone_default.ms
+                                     : 0,
+          report.equivalent ? "" : "  MISMATCH");
+      std::fflush(stdout);
+      reports.push_back(std::move(report));
+    }
+  }
+
+  // Thread scaling of the cone engine on the first circuit.
+  std::vector<std::pair<int, double>> scaling;
+  if (!reports.empty()) {
+    const bench::Prepared prepared = bench::PrepareVariant(variants[0]);
+    const auto collapsed = fault::Collapse(prepared.original);
+    const sim::InputSequence sequence =
+        RandomSequence(prepared.original, sequence_length, 42);
+    const int hw = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    for (int threads = 1; threads <= hw; threads *= 2) {
+      faultsim::ProofsOptions options;
+      options.num_threads = threads;
+      const EngineStats stats = RunProofs(
+          prepared.original, collapsed.representatives, sequence, options,
+          reps);
+      scaling.emplace_back(threads, stats.ms);
+    }
+  }
+
+  EmitJson(reports, scaling, default_threads, smoke);
+  std::printf("wrote BENCH_faultsim.json (%zu circuits)\n", reports.size());
+  if (!all_equivalent) {
+    std::fprintf(stderr, "ENGINE MISMATCH: detections disagree\n");
+    return 1;
+  }
+  return 0;
+}

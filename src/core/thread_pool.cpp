@@ -1,0 +1,85 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace retest::core {
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("REPRO_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return std::min(parsed, 512);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads > 0 ? num_threads : DefaultThreadCount()) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  unsigned long seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    RunItems(worker, lock);
+  }
+}
+
+void ThreadPool::RunItems(int worker, std::unique_lock<std::mutex>& lock) {
+  while (job_ != nullptr && next_ < count_) {
+    const std::size_t item = next_++;
+    ++active_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*job_)(worker, item);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error) {
+      if (!error_) error_ = error;
+      next_ = count_;  // Abandon the remaining items.
+    }
+    --active_;
+  }
+  if (active_ == 0 && next_ >= count_) done_cv_.notify_all();
+}
+
+void ThreadPool::ParallelFor(std::size_t count, const Job& fn) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  next_ = 0;
+  count_ = count;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  RunItems(0, lock);
+  done_cv_.wait(lock, [&] { return next_ >= count_ && active_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace retest::core

@@ -1,0 +1,67 @@
+// A small reusable thread pool for data-parallel loops.
+//
+// The pool owns `size() - 1` persistent worker threads; the thread that
+// calls ParallelFor participates as the remaining worker, so a pool of
+// size 1 spawns no threads at all and runs everything inline.  Work is
+// handed out as indices [0, count) from a shared counter, which suits
+// coarse, independent items (e.g. 64-fault simulation batches).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace retest::core {
+
+class ThreadPool {
+ public:
+  /// Worker callback: `worker` in [0, size()) identifies the executing
+  /// thread (stable across items, usable to index per-thread scratch),
+  /// `item` in [0, count) is the work index.
+  using Job = std::function<void(int worker, std::size_t item)>;
+
+  /// `num_threads <= 0` means DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return num_threads_; }
+
+  /// Runs fn(worker, item) for every item in [0, count); blocks until
+  /// all items finished.  The first exception thrown by an item is
+  /// rethrown here after the loop drains (remaining items are skipped).
+  /// Not reentrant: one ParallelFor at a time per pool.
+  void ParallelFor(std::size_t count, const Job& fn);
+
+  /// The `REPRO_THREADS` env var when set to a positive integer, else
+  /// std::thread::hardware_concurrency() (at least 1).
+  static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop(int worker);
+  /// Drains the current loop's items; expects `lock` held, returns with
+  /// it held.
+  void RunItems(int worker, std::unique_lock<std::mutex>& lock);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const Job* job_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  int active_ = 0;
+  unsigned long generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace retest::core

@@ -2,13 +2,56 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
+#include <optional>
 
+#include "core/thread_pool.h"
+#include "sim/levelizer.h"
 #include "sim/parallel.h"
 
 namespace retest::faultsim {
 
 using sim::V3;
 using sim::Word3;
+
+namespace {
+
+/// Fault order that maximizes cone sharing inside a 64-fault word:
+/// sites are visited in levelized topological position, so the faults
+/// of one batch sit close together and the union of their fanout cones
+/// stays near the size of a single cone.
+std::vector<size_t> BatchOrder(const netlist::Circuit& circuit,
+                               std::span<const fault::Fault> faults,
+                               bool sort_faults) {
+  std::vector<size_t> order(faults.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!sort_faults) return order;
+  const sim::Levelization levels = sim::Levelize(circuit);
+  std::vector<int> position(static_cast<size_t>(circuit.size()), 0);
+  for (size_t p = 0; p < levels.order.size(); ++p) {
+    position[static_cast<size_t>(levels.order[p])] = static_cast<int>(p);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const fault::Fault& fa = faults[a];
+    const fault::Fault& fb = faults[b];
+    const int pa = position[static_cast<size_t>(fa.site.node)];
+    const int pb = position[static_cast<size_t>(fb.site.node)];
+    if (pa != pb) return pa < pb;
+    if (fa.site.pin != fb.site.pin) return fa.site.pin < fb.site.pin;
+    return fa.stuck_at_1 < fb.stuck_at_1;
+  });
+  return order;
+}
+
+/// Per-worker reusable scratch: one frame evaluator and state vector,
+/// plus local work counters merged after the parallel loop.
+struct WorkerScratch {
+  std::optional<sim::ParallelFrame> frame;
+  std::vector<Word3> state;
+  long frames_evaluated = 0;
+};
+
+}  // namespace
 
 ProofsResult SimulateProofs(const netlist::Circuit& circuit,
                             std::span<const fault::Fault> faults,
@@ -18,50 +61,100 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
   result.detections.assign(faults.size(), {});
   if (faults.empty() || sequence.empty()) return result;
 
-  // Good-machine responses once.
-  sim::Simulator good(circuit);
-  good.Reset();
-  const auto good_outputs = good.Run(sequence);
+  // Good-machine responses once, shared read-only by every batch.  The
+  // cone-restricted mode needs the full per-node trace (non-cone values
+  // are seeded from it); full evaluation only needs the PO responses.
+  std::optional<sim::Trace> trace;
+  std::optional<sim::WordTrace> word_trace;
+  std::vector<std::vector<V3>> good_po;
+  if (options.cone_restricted) {
+    trace.emplace(circuit, sequence);
+    word_trace.emplace(*trace);
+  } else {
+    sim::Simulator good(circuit);
+    good.Reset();
+    good_po = good.Run(sequence);
+  }
+  const auto& good_outputs = options.cone_restricted ? trace->outputs() : good_po;
 
-  sim::ParallelFrame frame(circuit);
+  const std::vector<size_t> order =
+      BatchOrder(circuit, faults, options.sort_faults);
+  const size_t num_batches = (faults.size() + 63) / 64;
+  const int requested = options.num_threads > 0
+                            ? options.num_threads
+                            : core::ThreadPool::DefaultThreadCount();
+  const int num_threads =
+      static_cast<int>(std::min<size_t>(num_batches,
+                                        static_cast<size_t>(requested)));
+  result.threads_used = num_threads;
+
   const size_t num_dffs = static_cast<size_t>(circuit.num_dffs());
-  const auto& outputs = circuit.outputs();
+  std::vector<WorkerScratch> scratch(static_cast<size_t>(num_threads));
+  core::ThreadPool pool(num_threads);
+  pool.ParallelFor(num_batches, [&](int worker, size_t batch) {
+    WorkerScratch& ws = scratch[static_cast<size_t>(worker)];
+    if (!ws.frame) ws.frame.emplace(circuit);
+    sim::ParallelFrame& frame = *ws.frame;
 
-  for (size_t base = 0; base < faults.size(); base += 64) {
-    const int lanes = static_cast<int>(std::min<size_t>(64, faults.size() - base));
+    const size_t base = batch * 64;
+    const int lanes =
+        static_cast<int>(std::min<size_t>(64, faults.size() - base));
     std::vector<sim::Injection> injections;
     injections.reserve(static_cast<size_t>(lanes));
     for (int lane = 0; lane < lanes; ++lane) {
-      injections.push_back(fault::ToInjection(faults[base + static_cast<size_t>(lane)], lane));
+      injections.push_back(fault::ToInjection(
+          faults[order[base + static_cast<size_t>(lane)]], lane));
     }
     frame.SetInjections(injections);
+    if (options.cone_restricted) frame.RestrictToInjectionCones();
 
-    std::vector<Word3> state(num_dffs, Word3{});  // all-X initial state
-    const std::uint64_t lane_mask =
-        lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+    ws.state.assign(num_dffs, Word3{});  // all-X initial state
+    const std::uint64_t lane_mask = lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
     std::uint64_t undetected = lane_mask;
 
     for (size_t t = 0; t < sequence.size(); ++t) {
-      frame.Step(sequence[t], state);
-      ++result.frames_evaluated;
-      for (size_t o = 0; o < outputs.size(); ++o) {
-        const V3 g = good_outputs[t][o];
+      if (options.cone_restricted) {
+        frame.Step(sequence[t], ws.state, word_trace->frame(t));
+      } else {
+        frame.Step(sequence[t], ws.state);
+      }
+      ++ws.frames_evaluated;
+      const std::uint64_t before = undetected;
+      for (int o : frame.active_outputs()) {
+        const netlist::NodeId out_node =
+            circuit.outputs()[static_cast<size_t>(o)];
+        // Event-driven mode only computes dirty words; a clean output
+        // matches the good machine in every lane, so nothing to scan.
+        if (options.cone_restricted && !frame.dirty(out_node)) continue;
+        const V3 g = good_outputs[t][static_cast<size_t>(o)];
         if (g == V3::kX) continue;
-        const Word3& w = frame.value(outputs[o]);
+        const Word3& w = frame.value(out_node);
         // Faulty machine must be binary and complementary.
         const std::uint64_t differs = (g == V3::k1 ? w.zero : w.one);
         std::uint64_t newly = differs & undetected;
         while (newly != 0) {
           const int lane = std::countr_zero(newly);
           newly &= newly - 1;
-          auto& detection = result.detections[base + static_cast<size_t>(lane)];
+          auto& detection =
+              result.detections[order[base + static_cast<size_t>(lane)]];
           detection.detected = true;
           detection.time = static_cast<int>(t);
           undetected &= ~(1ull << lane);
         }
       }
-      if (options.drop_detected && undetected == 0) break;
+      if (options.drop_detected) {
+        if (undetected == 0) break;
+        // PROOFS fault dropping: retire detected lanes so they stop
+        // generating events inside the cone.
+        const std::uint64_t newly = before & ~undetected;
+        if (newly != 0 && options.cone_restricted) frame.DropLanes(newly);
+      }
     }
+  });
+
+  for (const WorkerScratch& ws : scratch) {
+    result.frames_evaluated += ws.frames_evaluated;
+    if (ws.frame) result.gate_evals += ws.frame->gate_evals();
   }
   return result;
 }

@@ -5,6 +5,18 @@
 // Section V.C experiments used).  Faults are dropped from further work
 // once detected; each faulty machine keeps its own DFF state across the
 // whole sequence.
+//
+// Two PROOFS insights drive the performance of the default
+// configuration:
+//  - cone restriction: a fault can only perturb values inside the
+//    structural fanout cone of its site (transitive through DFFs), so
+//    each 64-fault batch evaluates only the union of its cones and
+//    seeds everything else from a shared read-only good-machine trace;
+//  - batch locality: collapsed faults are ordered by the topological
+//    position of their site before batching, so faults sharing a word
+//    share cones and the union stays small.
+// Independent batches are dispatched across a thread pool
+// (ProofsOptions::num_threads / the REPRO_THREADS env override).
 #pragma once
 
 #include <span>
@@ -20,15 +32,31 @@ namespace retest::faultsim {
 struct ProofsOptions {
   /// Stop simulating a 64-fault group once all its faults are detected.
   bool drop_detected = true;
+  /// Evaluate only the union of the batch's fault cones per frame,
+  /// seeding non-cone values from the good-machine trace.
+  bool cone_restricted = true;
+  /// Order faults by topological site position before batching so that
+  /// faults sharing a word share cones.
+  bool sort_faults = true;
+  /// Worker threads for independent 64-fault batches.  <= 0 means
+  /// core::ThreadPool::DefaultThreadCount() (the REPRO_THREADS env var
+  /// when set, else hardware concurrency).
+  int num_threads = 0;
 };
 
 /// Aggregate result of a fault-simulation run.
 struct ProofsResult {
-  /// One entry per fault, in input order.
+  /// One entry per fault, in input order (independent of sorting,
+  /// batching and thread count).
   std::vector<Detection> detections;
   /// Total circuit-frame evaluations performed (deterministic work
   /// measure; 64 machines per frame).
   long frames_evaluated = 0;
+  /// Total node evaluations across all frames (deterministic work
+  /// measure; cone restriction shrinks this, threading does not).
+  long gate_evals = 0;
+  /// Threads the run actually used.
+  int threads_used = 1;
 
   int num_detected() const {
     int count = 0;

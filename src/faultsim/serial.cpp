@@ -1,5 +1,6 @@
 #include "faultsim/serial.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace retest::faultsim {
@@ -15,9 +16,21 @@ FaultySimulator::FaultySimulator(const netlist::Circuit& circuit,
       fault_(fault),
       levels_(sim::Levelize(circuit)),
       values_(static_cast<size_t>(circuit.size()), V3::kX),
-      state_(static_cast<size_t>(circuit.num_dffs()), V3::kX) {}
+      state_(static_cast<size_t>(circuit.num_dffs()), V3::kX) {
+  size_t max_arity = 0;
+  for (NodeId id : levels_.order) {
+    max_arity = std::max(max_arity, circuit.node(id).fanin.size());
+  }
+  fanin_values_.reserve(max_arity);
+  outputs_.reserve(circuit.outputs().size());
+}
 
 void FaultySimulator::Reset() { state_.assign(state_.size(), V3::kX); }
+
+void FaultySimulator::SetFault(const fault::Fault& fault) {
+  fault_ = fault;
+  Reset();
+}
 
 void FaultySimulator::SetState(std::span<const V3> state) {
   if (state.size() != state_.size()) {
@@ -26,7 +39,7 @@ void FaultySimulator::SetState(std::span<const V3> state) {
   state_.assign(state.begin(), state.end());
 }
 
-std::vector<V3> FaultySimulator::Step(std::span<const V3> inputs) {
+const std::vector<V3>& FaultySimulator::Step(std::span<const V3> inputs) {
   const netlist::Circuit& circuit = *circuit_;
   if (inputs.size() != static_cast<size_t>(circuit.num_inputs())) {
     throw std::invalid_argument("FaultySimulator::Step: wrong input width");
@@ -49,28 +62,26 @@ std::vector<V3> FaultySimulator::Step(std::span<const V3> inputs) {
     }
   }
 
-  std::vector<V3> fanin_values;
   for (NodeId id : levels_.order) {
     const Node& node = circuit.node(id);
     if (node.kind == NodeKind::kInput || node.kind == NodeKind::kDff) continue;
-    fanin_values.clear();
+    fanin_values_.clear();
     for (NodeId driver : node.fanin) {
-      fanin_values.push_back(values_[static_cast<size_t>(driver)]);
+      fanin_values_.push_back(values_[static_cast<size_t>(driver)]);
     }
     if (fault_.site.node == id && fault_.site.pin >= 0) {
-      fanin_values[static_cast<size_t>(fault_.site.pin)] = forced;
+      fanin_values_[static_cast<size_t>(fault_.site.pin)] = forced;
     }
     V3 out = node.kind == NodeKind::kOutput
-                 ? fanin_values[0]
-                 : sim::EvalGate3(node.kind, fanin_values);
+                 ? fanin_values_[0]
+                 : sim::EvalGate3(node.kind, fanin_values_);
     if (fault_.site.node == id && fault_.site.pin < 0) out = forced;
     values_[static_cast<size_t>(id)] = out;
   }
 
-  std::vector<V3> outputs;
-  outputs.reserve(circuit.outputs().size());
+  outputs_.clear();
   for (NodeId id : circuit.outputs()) {
-    outputs.push_back(values_[static_cast<size_t>(id)]);
+    outputs_.push_back(values_[static_cast<size_t>(id)]);
   }
   for (size_t i = 0; i < dffs.size(); ++i) {
     const Node& dff = circuit.node(dffs[i]);
@@ -78,8 +89,31 @@ std::vector<V3> FaultySimulator::Step(std::span<const V3> inputs) {
     if (fault_.site.node == dffs[i] && fault_.site.pin == 0) d = forced;
     state_[i] = d;
   }
-  return outputs;
+  return outputs_;
 }
+
+namespace {
+
+/// Runs one faulty machine over the whole sequence, returning at the
+/// first frame whose response contradicts the good machine (both
+/// binary, different values).
+Detection SimulateOneFault(FaultySimulator& faulty,
+                           const std::vector<std::vector<V3>>& good_outputs,
+                           const sim::InputSequence& sequence) {
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    const auto& outputs = faulty.Step(sequence[t]);
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      const V3 g = good_outputs[t][o];
+      const V3 b = outputs[o];
+      if (g != V3::kX && b != V3::kX && g != b) {
+        return {true, static_cast<int>(t)};
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
 
 std::vector<Detection> SimulateSerial(const netlist::Circuit& circuit,
                                       std::span<const fault::Fault> faults,
@@ -90,21 +124,13 @@ std::vector<Detection> SimulateSerial(const netlist::Circuit& circuit,
   const auto good_outputs = good.Run(sequence);
 
   std::vector<Detection> detections(faults.size());
+  if (faults.empty()) return detections;
+  // One simulator re-armed per fault: levelization and buffers are
+  // built once for the whole universe.
+  FaultySimulator faulty(circuit, faults[0]);
   for (size_t f = 0; f < faults.size(); ++f) {
-    FaultySimulator faulty(circuit, faults[f]);
-    for (size_t t = 0; t < sequence.size(); ++t) {
-      const auto outputs = faulty.Step(sequence[t]);
-      for (size_t o = 0; o < outputs.size(); ++o) {
-        const V3 g = good_outputs[t][o];
-        const V3 b = outputs[o];
-        if (g != V3::kX && b != V3::kX && g != b) {
-          detections[f].detected = true;
-          detections[f].time = static_cast<int>(t);
-          break;
-        }
-      }
-      if (detections[f].detected) break;
-    }
+    faulty.SetFault(faults[f]);
+    detections[f] = SimulateOneFault(faulty, good_outputs, sequence);
   }
   return detections;
 }

@@ -19,6 +19,8 @@ namespace retest::faultsim {
 struct Detection {
   bool detected = false;
   int time = -1;  ///< First vector index at which the fault was seen.
+
+  friend bool operator==(const Detection&, const Detection&) = default;
 };
 
 /// Simulates `sequence` on the good machine and on each faulty machine
@@ -37,11 +39,17 @@ class FaultySimulator {
   /// Resets every DFF to X.
   void Reset();
 
+  /// Re-arms the simulator for a different fault on the same circuit
+  /// and resets the state (reuses the levelization and buffers).
+  void SetFault(const fault::Fault& fault);
+
   /// Overwrites the faulty machine's DFF state (Circuit::dffs order).
   void SetState(std::span<const sim::V3> state);
 
-  /// Applies one vector; returns faulty-machine PO values.
-  std::vector<sim::V3> Step(std::span<const sim::V3> inputs);
+  /// Applies one vector; returns faulty-machine PO values.  The
+  /// returned buffer is owned by the simulator and overwritten by the
+  /// next Step.
+  const std::vector<sim::V3>& Step(std::span<const sim::V3> inputs);
 
   /// Current faulty-machine DFF state.
   const std::vector<sim::V3>& state() const { return state_; }
@@ -52,6 +60,9 @@ class FaultySimulator {
   sim::Levelization levels_;
   std::vector<sim::V3> values_;
   std::vector<sim::V3> state_;
+  // Step scratch, sized once so the per-clock hot loop never allocates.
+  std::vector<sim::V3> fanin_values_;
+  std::vector<sim::V3> outputs_;
 };
 
 }  // namespace retest::faultsim

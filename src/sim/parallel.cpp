@@ -1,5 +1,7 @@
 #include "sim/parallel.h"
 
+#include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 namespace retest::sim {
@@ -41,77 +43,301 @@ Word3 EvalGate64(NodeKind kind, std::span<const Word3> fanin) {
   }
 }
 
+WordTrace::WordTrace(const Trace& trace) : frames_(trace.num_frames()) {
+  if (frames_ == 0) return;
+  num_nodes_ = trace.frame(0).size();
+  words_.resize(frames_ * num_nodes_);
+  for (size_t t = 0; t < frames_; ++t) {
+    const std::span<const V3> frame = trace.frame(t);
+    Word3* out = words_.data() + t * num_nodes_;
+    for (size_t n = 0; n < num_nodes_; ++n) out[n] = Word3::Broadcast(frame[n]);
+  }
+}
+
 ParallelFrame::ParallelFrame(const netlist::Circuit& circuit)
     : circuit_(&circuit),
       levels_(Levelize(circuit)),
       values_(static_cast<size_t>(circuit.size())),
-      by_node_(static_cast<size_t>(circuit.size())) {}
+      by_node_(static_cast<size_t>(circuit.size())),
+      in_cone_(static_cast<size_t>(circuit.size()), 0) {
+  all_outputs_.resize(static_cast<size_t>(circuit.num_outputs()));
+  std::iota(all_outputs_.begin(), all_outputs_.end(), 0);
+  active_outputs_ = all_outputs_;
+  pi_index_.assign(static_cast<size_t>(circuit.size()), -1);
+  const auto& pis = circuit.inputs();
+  for (size_t i = 0; i < pis.size(); ++i) {
+    pi_index_[static_cast<size_t>(pis[i])] = static_cast<int>(i);
+  }
+  scheduled_.assign(static_cast<size_t>(circuit.size()), 0);
+  int num_levels = 0;
+  for (int lvl : levels_.level) num_levels = std::max(num_levels, lvl + 1);
+  buckets_.resize(static_cast<size_t>(num_levels));
+}
 
 void ParallelFrame::SetInjections(std::span<const Injection> injections) {
   for (NodeId id : touched_nodes_) by_node_[static_cast<size_t>(id)].clear();
   touched_nodes_.clear();
+  active_lanes_ = ~0ull;
   for (const Injection& inj : injections) {
     auto& list = by_node_[static_cast<size_t>(inj.node)];
     if (list.empty()) touched_nodes_.push_back(inj.node);
     list.push_back(inj);
   }
+  cone_mode_ = false;
+  cone_size_ = 0;
+  active_outputs_ = all_outputs_;
 }
 
-void ParallelFrame::Step(std::span<const V3> inputs,
-                         std::vector<Word3>& state) {
-  if (inputs.size() != static_cast<size_t>(circuit_->num_inputs()) ||
-      state.size() != static_cast<size_t>(circuit_->num_dffs())) {
-    throw std::invalid_argument("ParallelFrame::Step: width mismatch");
+void ParallelFrame::RestrictToInjectionCones() {
+  in_cone_.assign(in_cone_.size(), 0);
+  dirty_.assign(in_cone_.size(), 0);
+  dirty_list_.clear();
+  forced_.clear();
+  cone_dffs_.clear();
+  active_outputs_.clear();
+
+  // Activity mask: forward reachability from every injection site.  A
+  // branch fault (pin >= 0) perturbs the reading node's output; a stem
+  // fault perturbs the node's own output — either way the site node is
+  // the cone root.  Fanout edges naturally chain through DFFs: a DFF
+  // whose D cone differs latches a faulty state, perturbing its Q
+  // consumers on later frames.
+  std::vector<NodeId> worklist;
+  for (NodeId id : touched_nodes_) {
+    if (!in_cone_[static_cast<size_t>(id)]) {
+      in_cone_[static_cast<size_t>(id)] = 1;
+      worklist.push_back(id);
+    }
   }
+  while (!worklist.empty()) {
+    const NodeId id = worklist.back();
+    worklist.pop_back();
+    for (NodeId sink : circuit_->node(id).fanout) {
+      if (!in_cone_[static_cast<size_t>(sink)]) {
+        in_cone_[static_cast<size_t>(sink)] = 1;
+        worklist.push_back(sink);
+      }
+    }
+  }
+
+  cone_size_ = 0;
+  for (char mark : in_cone_) cone_size_ += mark;
+  // Injected gates/POs must be (re)evaluated whenever any of their
+  // lanes is still live, even on frames where no fanin is dirty.
+  for (NodeId id : touched_nodes_) {
+    const NodeKind kind = circuit_->node(id).kind;
+    if (kind == NodeKind::kInput || kind == NodeKind::kDff) continue;
+    std::uint64_t mask = 0;
+    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+      mask |= 1ull << inj.lane;
+    }
+    forced_.emplace_back(id, mask);
+  }
+  const auto& dffs = circuit_->dffs();
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    if (in_cone_[static_cast<size_t>(dffs[i])]) cone_dffs_.push_back(i);
+  }
+  const auto& outputs = circuit_->outputs();
+  for (size_t o = 0; o < outputs.size(); ++o) {
+    if (in_cone_[static_cast<size_t>(outputs[o])]) {
+      active_outputs_.push_back(static_cast<int>(o));
+    }
+  }
+  cone_mode_ = true;
+}
+
+void ParallelFrame::SeedSources(std::span<const V3> inputs) {
   const auto& pis = circuit_->inputs();
   for (size_t i = 0; i < pis.size(); ++i) {
     values_[static_cast<size_t>(pis[i])] = Word3::Broadcast(inputs[i]);
   }
+  // Output-stem injections on sources must be applied up front.
+  for (NodeId id : touched_nodes_) {
+    const NodeKind kind = circuit_->node(id).kind;
+    if (kind != NodeKind::kInput && kind != NodeKind::kDff) continue;
+    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+      if (inj.pin < 0) {
+        values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
+      }
+    }
+  }
+}
+
+void ParallelFrame::EvalNode(NodeId id, std::vector<Word3>& fanin_words) {
+  const Node& node = circuit_->node(id);
+  fanin_words.clear();
+  for (NodeId driver : node.fanin) {
+    fanin_words.push_back(values_[static_cast<size_t>(driver)]);
+  }
+  // Branch (input-pin) injections modify only this gate's view.
+  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+    if (inj.pin >= 0) {
+      fanin_words[static_cast<size_t>(inj.pin)].SetLane(inj.lane, inj.value);
+    }
+  }
+  Word3 out = node.kind == NodeKind::kOutput ? fanin_words[0]
+                                             : EvalGate64(node.kind, fanin_words);
+  // Output-stem injections force the computed value.
+  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+    if (inj.pin < 0) out.SetLane(inj.lane, inj.value);
+  }
+  values_[static_cast<size_t>(id)] = out;
+}
+
+void ParallelFrame::Latch(std::vector<Word3>& state, size_t dff_index) {
+  const NodeId id = circuit_->dffs()[dff_index];
+  const Node& dff = circuit_->node(id);
+  Word3 d = values_[static_cast<size_t>(dff.fanin[0])];
+  // Branch injections on the DFF's data pin.
+  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+    if (inj.pin >= 0) d.SetLane(inj.lane, inj.value);
+  }
+  state[dff_index] = d;
+}
+
+void ParallelFrame::Validate(std::span<const V3> inputs,
+                             const std::vector<Word3>& state) const {
+  if (inputs.size() != static_cast<size_t>(circuit_->num_inputs()) ||
+      state.size() != static_cast<size_t>(circuit_->num_dffs())) {
+    throw std::invalid_argument("ParallelFrame::Step: width mismatch");
+  }
+}
+
+void ParallelFrame::Step(std::span<const V3> inputs,
+                         std::vector<Word3>& state) {
+  Validate(inputs, state);
   const auto& dffs = circuit_->dffs();
   for (size_t i = 0; i < dffs.size(); ++i) {
     values_[static_cast<size_t>(dffs[i])] = state[i];
   }
-  // Output-stem injections on sources must be applied up front.
-  auto apply_output_injections = [&](NodeId id) {
-    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      if (inj.pin < 0) values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
+  SeedSources(inputs);
+  for (NodeId id : levels_.order) {
+    const NodeKind kind = circuit_->node(id).kind;
+    if (kind == NodeKind::kInput || kind == NodeKind::kDff) continue;
+    EvalNode(id, fanin_scratch_);
+    ++gate_evals_;
+  }
+  for (size_t i = 0; i < dffs.size(); ++i) Latch(state, i);
+}
+
+void ParallelFrame::Step(std::span<const V3> inputs, std::vector<Word3>& state,
+                         std::span<const Word3> good_frame) {
+  if (!cone_mode_) {
+    throw std::logic_error(
+        "ParallelFrame::Step(good_frame): call RestrictToInjectionCones first");
+  }
+  Validate(inputs, state);
+  if (good_frame.size() != values_.size()) {
+    throw std::invalid_argument("ParallelFrame::Step: good frame mismatch");
+  }
+  const Word3* good = good_frame.data();
+  const std::uint64_t live = active_lanes_;
+  // Dropped lanes are clamped to the good machine wherever a word
+  // enters the frontier, so retired faults generate no events.
+  auto clamp = [&](Word3 v, NodeId id) {
+    const Word3& g = good[static_cast<size_t>(id)];
+    return Word3{(v.one & live) | (g.one & ~live),
+                 (v.zero & live) | (g.zero & ~live)};
+  };
+  auto schedule_fanouts = [&](NodeId id) {
+    for (NodeId sink : circuit_->node(id).fanout) {
+      const size_t si = static_cast<size_t>(sink);
+      if (!in_cone_[si] || scheduled_[si]) continue;
+      if (circuit_->node(sink).kind == NodeKind::kDff) continue;  // latched
+      scheduled_[si] = 1;
+      buckets_[static_cast<size_t>(levels_.level[si])].push_back(sink);
     }
   };
+  auto mark = [&](NodeId id) {
+    const size_t i = static_cast<size_t>(id);
+    const bool now = values_[i] != good[i];
+    if (now && !dirty_[i]) dirty_list_.push_back(id);
+    dirty_[i] = now;
+    return now;
+  };
+
+  // Last frame's dirty flags are stale: a node off this frame's
+  // frontier is clean by construction.
+  for (NodeId id : dirty_list_) dirty_[static_cast<size_t>(id)] = 0;
+  dirty_list_.clear();
+
+  // Seed the frontier.  A cone DFF is dirty when some live lane
+  // latched a value the good machine did not; an injected source is
+  // dirty when the forced lane disagrees with the good value this
+  // frame (fault excitation).
+  const auto& dffs = circuit_->dffs();
+  for (size_t i : cone_dffs_) {
+    const NodeId id = dffs[i];
+    values_[static_cast<size_t>(id)] = clamp(state[i], id);
+    if (mark(id)) schedule_fanouts(id);
+  }
   for (NodeId id : touched_nodes_) {
     const NodeKind kind = circuit_->node(id).kind;
-    if (kind == NodeKind::kInput || kind == NodeKind::kDff) {
-      apply_output_injections(id);
+    if (kind != NodeKind::kInput && kind != NodeKind::kDff) continue;
+    // A PI's good word is the broadcast input itself.
+    if (kind == NodeKind::kInput) {
+      values_[static_cast<size_t>(id)] = good[static_cast<size_t>(id)];
     }
-  }
-
-  std::vector<Word3> fanin_words;
-  for (NodeId id : levels_.order) {
-    const Node& node = circuit_->node(id);
-    if (node.kind == NodeKind::kInput || node.kind == NodeKind::kDff) continue;
-    fanin_words.clear();
-    for (NodeId driver : node.fanin) {
-      fanin_words.push_back(values_[static_cast<size_t>(driver)]);
-    }
-    // Branch (input-pin) injections modify only this gate's view.
     for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      if (inj.pin >= 0) {
-        fanin_words[static_cast<size_t>(inj.pin)].SetLane(inj.lane, inj.value);
+      if (inj.pin < 0 && (live >> inj.lane) & 1) {
+        values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
       }
     }
-    Word3 out = node.kind == NodeKind::kOutput
-                    ? fanin_words[0]
-                    : EvalGate64(node.kind, fanin_words);
-    values_[static_cast<size_t>(id)] = out;
-    apply_output_injections(id);
+    if (mark(id)) schedule_fanouts(id);
+  }
+  for (const auto& [id, mask] : forced_) {
+    const size_t i = static_cast<size_t>(id);
+    if ((mask & live) && !scheduled_[i]) {
+      scheduled_[i] = 1;
+      buckets_[static_cast<size_t>(levels_.level[i])].push_back(id);
+    }
   }
 
-  // Clock edge.
-  for (size_t i = 0; i < dffs.size(); ++i) {
-    const Node& dff = circuit_->node(dffs[i]);
-    Word3 d = values_[static_cast<size_t>(dff.fanin[0])];
-    // Branch injections on the DFF's data pin.
-    for (const Injection& inj : by_node_[static_cast<size_t>(dffs[i])]) {
-      if (inj.pin >= 0) d.SetLane(inj.lane, inj.value);
+  // Drain the event queue level by level; a gate only ever schedules
+  // strictly deeper sinks, so each bucket is complete when reached.
+  for (auto& bucket : buckets_) {
+    for (size_t bi = 0; bi < bucket.size(); ++bi) {
+      const NodeId id = bucket[bi];
+      scheduled_[static_cast<size_t>(id)] = 0;
+      const Node& node = circuit_->node(id);
+      fanin_scratch_.clear();
+      for (NodeId driver : node.fanin) {
+        fanin_scratch_.push_back(dirty_[static_cast<size_t>(driver)]
+                                     ? values_[static_cast<size_t>(driver)]
+                                     : good[static_cast<size_t>(driver)]);
+      }
+      for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+        if (inj.pin >= 0 && (live >> inj.lane) & 1) {
+          fanin_scratch_[static_cast<size_t>(inj.pin)].SetLane(inj.lane,
+                                                               inj.value);
+        }
+      }
+      Word3 out = node.kind == NodeKind::kOutput
+                      ? fanin_scratch_[0]
+                      : EvalGate64(node.kind, fanin_scratch_);
+      for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+        if (inj.pin < 0 && (live >> inj.lane) & 1) {
+          out.SetLane(inj.lane, inj.value);
+        }
+      }
+      values_[static_cast<size_t>(id)] = clamp(out, id);
+      if (mark(id)) schedule_fanouts(id);
+      ++gate_evals_;
+    }
+    bucket.clear();
+  }
+
+  // Clock edge for cone registers only.
+  for (size_t i : cone_dffs_) {
+    const NodeId id = dffs[i];
+    const NodeId d_node = circuit_->node(id).fanin[0];
+    Word3 d = dirty_[static_cast<size_t>(d_node)]
+                  ? values_[static_cast<size_t>(d_node)]
+                  : good[static_cast<size_t>(d_node)];
+    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+      if (inj.pin >= 0 && (live >> inj.lane) & 1) {
+        d.SetLane(inj.lane, inj.value);
+      }
     }
     state[i] = d;
   }

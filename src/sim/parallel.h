@@ -10,9 +10,12 @@
 #include <span>
 #include <vector>
 
+#include <utility>
+
 #include "netlist/circuit.h"
 #include "sim/levelizer.h"
 #include "sim/logic3.h"
+#include "sim/simulator.h"
 
 namespace retest::sim {
 
@@ -79,35 +82,154 @@ struct Injection {
   int lane = 0;        ///< which of the 64 machines it applies to
 };
 
+/// Broadcast (Word3) image of a good-machine Trace: one word per node
+/// per frame, shared read-only across batches and threads.  Cone-mode
+/// evaluation compares against and seeds from these words directly,
+/// instead of re-broadcasting scalar trace values on every access.
+class WordTrace {
+ public:
+  explicit WordTrace(const Trace& trace);
+
+  size_t num_frames() const { return frames_; }
+
+  /// All node words of the good machine at frame t.
+  std::span<const Word3> frame(size_t t) const {
+    return {words_.data() + t * num_nodes_, num_nodes_};
+  }
+
+ private:
+  size_t frames_ = 0;
+  size_t num_nodes_ = 0;
+  std::vector<Word3> words_;  // frame-major
+};
+
 /// One-clock-frame evaluator over 64 parallel machines with fault
 /// injection.  Owns per-node word storage; the caller owns the state.
+///
+/// Two evaluation modes:
+///  - full (default): every node is evaluated on every Step.
+///  - cone-restricted: after RestrictToInjectionCones(), evaluation is
+///    limited to the union of the injection sites' structural fanout
+///    cones (transitive through DFFs) — the activity mask.  Everything
+///    outside behaves exactly like the good machine and is read from a
+///    cached good-machine WordTrace (the PROOFS insight: a fault cannot
+///    perturb values outside its fanout cone).  Within the cone the
+///    evaluation is event-driven: dirty nodes (word differs from the
+///    good machine this frame) schedule their cone fanouts into
+///    per-level buckets, so only gates on the active frontier are
+///    visited at all.  Detected faults can be retired per lane with
+///    DropLanes, after which their lanes are clamped to the good
+///    machine and stop generating events.  Per-frame cost falls from
+///    O(|circuit|) to O(|active frontier|), which decays as faults are
+///    detected and dropped.
 class ParallelFrame {
  public:
   explicit ParallelFrame(const netlist::Circuit& circuit);
 
-  /// Installs the set of active injections (grouped by node internally).
+  /// Installs the set of active injections (grouped by node internally)
+  /// and drops any cone restriction from a previous batch.
   void SetInjections(std::span<const Injection> injections);
 
-  /// Evaluates one frame: seeds PIs with broadcast scalar inputs and
-  /// DFF outputs from `state` (one Word3 per DFF), applies injections,
-  /// and leaves all node values readable via value().  Then latches the
-  /// next state into `state`.
+  /// Precomputes the activity mask for the current injections: the
+  /// union of the fanout cones of all injection sites, transitive
+  /// through DFFs (a faulty value latched into a register keeps
+  /// perturbing its Q consumers on later frames).  Until the next
+  /// SetInjections, Step must be called with a good-machine frame.
+  void RestrictToInjectionCones();
+
+  /// True when a cone restriction is active.
+  bool cone_restricted() const { return cone_mode_; }
+
+  /// Number of nodes inside the active cones (0 when unrestricted).
+  int cone_size() const { return cone_size_; }
+
+  /// Evaluates one frame (full mode): seeds PIs with broadcast scalar
+  /// inputs and DFF outputs from `state` (one Word3 per DFF), applies
+  /// injections, and leaves all node values readable via value().  Then
+  /// latches the next state into `state`.
   void Step(std::span<const V3> inputs, std::vector<Word3>& state);
 
-  /// Word currently on a node's output net.
+  /// Cone-restricted frame: like Step, but only cone nodes on the
+  /// active frontier are evaluated; everything else matches
+  /// `good_frame` (all node words of the good machine at this frame,
+  /// i.e. WordTrace::frame(t)).  Only cone entries of `state` are
+  /// maintained; read results via word() and dirty(), not value().
+  void Step(std::span<const V3> inputs, std::vector<Word3>& state,
+            std::span<const Word3> good_frame);
+
+  /// Retires the given lanes (bitmask): their injections stop being
+  /// applied and their words are clamped to the good machine, so the
+  /// dropped faults generate no further events.  PROOFS fault dropping
+  /// at lane granularity.  Cleared by SetInjections.
+  void DropLanes(std::uint64_t lanes) { active_lanes_ &= ~lanes; }
+
+  /// Word currently on a node's output net.  In cone-restricted mode
+  /// this is only valid for dirty(id) nodes — use word() elsewhere.
   const Word3& value(netlist::NodeId id) const {
     return values_[static_cast<size_t>(id)];
   }
 
+  /// True when the node's word differs from the good machine in some
+  /// lane this frame (cone-restricted mode; clean nodes were skipped).
+  bool dirty(netlist::NodeId id) const {
+    return dirty_[static_cast<size_t>(id)] != 0;
+  }
+
+  /// Node value in cone-restricted mode: the evaluated word for dirty
+  /// nodes, the good-machine word for clean ones.
+  Word3 word(netlist::NodeId id, std::span<const Word3> good_frame) const {
+    return dirty(id) ? values_[static_cast<size_t>(id)]
+                     : good_frame[static_cast<size_t>(id)];
+  }
+
+  /// Indices into circuit().outputs() that can differ from the good
+  /// machine under the current restriction (all outputs when
+  /// unrestricted).  A detection scan only needs to look at these.
+  const std::vector<int>& active_outputs() const { return active_outputs_; }
+
+  /// Node evaluations performed by Step since construction / the last
+  /// ResetStats (deterministic work measure; each counts 64 machines).
+  long gate_evals() const { return gate_evals_; }
+  void ResetStats() { gate_evals_ = 0; }
+
   const netlist::Circuit& circuit() const { return *circuit_; }
 
  private:
+  void Validate(std::span<const V3> inputs,
+                const std::vector<Word3>& state) const;
+  void SeedSources(std::span<const V3> inputs);
+  void EvalNode(netlist::NodeId id, std::vector<Word3>& fanin_words);
+  void Latch(std::vector<Word3>& state, size_t dff_index);
+
   const netlist::Circuit* circuit_;
   Levelization levels_;
   std::vector<Word3> values_;
   // Injections indexed by node id; empty vectors for untouched nodes.
   std::vector<std::vector<Injection>> by_node_;
   std::vector<netlist::NodeId> touched_nodes_;
+  // All output indices, for active_outputs() in full mode.
+  std::vector<int> all_outputs_;
+  // NodeId -> primary-input index (-1 elsewhere), for seeding injected
+  // PIs in cone mode.
+  std::vector<int> pi_index_;
+
+  // Cone restriction (valid while cone_mode_):
+  bool cone_mode_ = false;
+  int cone_size_ = 0;
+  std::uint64_t active_lanes_ = ~0ull;  // lanes not yet dropped
+  std::vector<char> in_cone_;           // activity mask, per node
+  std::vector<char> dirty_;             // word differs from good
+  std::vector<netlist::NodeId> dirty_list_;  // nodes with dirty_ set
+  std::vector<char> scheduled_;              // queued for eval this frame
+  std::vector<std::vector<netlist::NodeId>> buckets_;  // event queue, by level
+  // Cone gates/POs carrying injections (node, lane mask): always
+  // scheduled while any of their lanes is still active.
+  std::vector<std::pair<netlist::NodeId, std::uint64_t>> forced_;
+  std::vector<size_t> cone_dffs_;  // dff indices latched in cone mode
+  std::vector<int> active_outputs_;
+
+  std::vector<Word3> fanin_scratch_;
+  long gate_evals_ = 0;
 };
 
 }  // namespace retest::sim

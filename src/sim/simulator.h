@@ -62,4 +62,41 @@ class Simulator {
   std::vector<V3> state_;   // per DFF
 };
 
+/// Full per-node value trace of a good-machine run.
+///
+/// Records, for every frame t of a sequence, the value of every node's
+/// output net (DFF nodes carry their pre-edge Q value, exactly what a
+/// frame evaluator seeds from).  The cone-restricted fault simulator
+/// shares one read-only Trace across all fault batches: any node
+/// outside a batch's fanout cones behaves identically to the good
+/// machine, so its value can be taken from here instead of being
+/// re-evaluated.
+class Trace {
+ public:
+  Trace() = default;
+  /// Simulates `sequence` from the all-X state and records every frame.
+  Trace(const netlist::Circuit& circuit, const InputSequence& sequence);
+
+  size_t num_frames() const { return frames_; }
+
+  /// All node values at frame t, indexed by NodeId.
+  std::span<const V3> frame(size_t t) const {
+    return {values_.data() + t * num_nodes_, num_nodes_};
+  }
+
+  V3 value(size_t t, netlist::NodeId id) const {
+    return values_[t * num_nodes_ + static_cast<size_t>(id)];
+  }
+
+  /// Primary-output values per frame (Circuit::outputs order), the
+  /// same shape Simulator::Run returns.
+  const std::vector<std::vector<V3>>& outputs() const { return outputs_; }
+
+ private:
+  size_t frames_ = 0;
+  size_t num_nodes_ = 0;
+  std::vector<V3> values_;  // frames_ x num_nodes_, frame-major
+  std::vector<std::vector<V3>> outputs_;
+};
+
 }  // namespace retest::sim

@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
 #include "core/preserve.h"
+#include "core/thread_pool.h"
 #include "core/syncseq.h"
 #include "core/testset.h"
 #include "netlist/builder.h"
@@ -142,6 +149,64 @@ TEST(Sync, ReportsFailureWhenUnsynchronizable) {
   SyncSearchOptions options;
   options.max_length = 16;
   EXPECT_FALSE(FindStructuralSyncSequence(circuit, options).has_value());
+}
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  constexpr size_t kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.ParallelFor(kItems, [&](int worker, size_t item) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+    hits[item].fetch_add(1);
+  });
+  for (size_t i = 0; i < kItems; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  pool.ParallelFor(64, [&](int, size_t) {
+    if (std::this_thread::get_id() != caller) off_thread.fetch_add(1);
+  });
+  EXPECT_EQ(off_thread.load(), 0);
+}
+
+TEST(ThreadPool, ReusableAcrossLoops) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.ParallelFor(100, [&](int, size_t item) {
+      sum.fetch_add(static_cast<long>(item));
+    });
+  }
+  EXPECT_EQ(sum.load(), 5L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(10,
+                                [&](int, size_t item) {
+                                  if (item == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives the failed loop.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](int, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("REPRO_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ::setenv("REPRO_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  ::unsetenv("REPRO_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
 }
 
 }  // namespace

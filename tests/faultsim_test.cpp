@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <thread>
 
 #include "fault/fault.h"
 #include "faultsim/proofs.h"
 #include "faultsim/serial.h"
 #include "netlist/builder.h"
 #include "sim/simulator.h"
+#include "tests/random_circuits.h"
 
 namespace retest::faultsim {
 namespace {
@@ -175,6 +177,126 @@ TEST(Proofs, DroppingDoesNotChangeDetections) {
               without_drop.detections[i].detected);
   }
   EXPECT_LE(with_drop.frames_evaluated, without_drop.frames_evaluated);
+}
+
+// ~25% X inputs so unknown-value paths are exercised alongside binary
+// ones.
+InputSequence Random3Sequence(Rng& rng, int width, int length) {
+  InputSequence sequence(static_cast<size_t>(length));
+  for (auto& vector : sequence) {
+    vector.resize(static_cast<size_t>(width));
+    for (auto& v : vector) {
+      switch (rng.Next() & 3) {
+        case 0: v = V3::k0; break;
+        case 1: v = V3::k1; break;
+        case 2: v = V3::kX; break;
+        default: v = rng.Next() & 1 ? V3::k1 : V3::k0; break;
+      }
+    }
+  }
+  return sequence;
+}
+
+// The headline equivalence guarantee of the cone-restricted threaded
+// engine: identical Detection vectors (flag AND time) to the scalar
+// reference on randomized circuits, across thread counts, with and
+// without cone restriction and site sorting.
+TEST(Proofs, ConeRestrictedThreadedMatchesSerialOnRandomCircuits) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  bool saw_pi_stem = false;
+  bool saw_dff_pin = false;
+  bool saw_branch = false;
+
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    retest::testing::RandomCircuitOptions copts;
+    copts.num_inputs = 2 + static_cast<int>(seed % 3);
+    copts.num_dffs = 1 + static_cast<int>(seed % 4);
+    copts.num_gates = 6 + static_cast<int>(seed % 14);
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed, copts);
+    const auto faults = fault::EnumerateFaults(circuit);
+    for (const auto& f : faults) {
+      const netlist::NodeKind kind = circuit.node(f.site.node).kind;
+      if (f.site.pin < 0 && kind == netlist::NodeKind::kInput) {
+        saw_pi_stem = true;
+      }
+      if (kind == netlist::NodeKind::kDff && f.site.pin == 0) {
+        saw_dff_pin = true;
+      }
+      if (f.site.pin >= 0) saw_branch = true;
+    }
+
+    Rng rng{seed * 977 + 13};
+    const InputSequence sequence = Random3Sequence(
+        rng, circuit.num_inputs(), 12 + static_cast<int>(seed % 20));
+    const auto serial = SimulateSerial(circuit, faults, sequence);
+
+    auto check = [&](const ProofsOptions& options, const char* label) {
+      const auto proofs = SimulateProofs(circuit, faults, sequence, options);
+      ASSERT_EQ(serial.size(), proofs.detections.size());
+      for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], proofs.detections[i])
+            << label << " seed " << seed << ": "
+            << ToString(circuit, faults[i]) << " (serial "
+            << serial[i].detected << "@" << serial[i].time << ", proofs "
+            << proofs.detections[i].detected << "@"
+            << proofs.detections[i].time << ")";
+      }
+    };
+
+    for (int threads : {1, 2, hw}) {
+      ProofsOptions options;
+      options.num_threads = threads;
+      check(options, "cone");
+    }
+    ProofsOptions full;
+    full.cone_restricted = false;
+    full.sort_faults = false;
+    full.num_threads = 2;
+    check(full, "full-eval");
+  }
+  // The universe exercised the site classes the engine special-cases.
+  EXPECT_TRUE(saw_pi_stem);
+  EXPECT_TRUE(saw_dff_pin);
+  EXPECT_TRUE(saw_branch);
+}
+
+TEST(Proofs, ConeRestrictionReducesGateEvals) {
+  const Circuit circuit = retest::testing::MakeRandomCircuit(
+      3, {.num_inputs = 4, .num_dffs = 4, .num_gates = 40});
+  const auto faults = fault::EnumerateFaults(circuit);
+  Rng rng{99};
+  const InputSequence sequence = RandomSequence(rng, 4, 32);
+  ProofsOptions cone;
+  cone.drop_detected = false;
+  ProofsOptions full = cone;
+  full.cone_restricted = false;
+  const auto with_cone = SimulateProofs(circuit, faults, sequence, cone);
+  const auto without = SimulateProofs(circuit, faults, sequence, full);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(with_cone.detections[i], without.detections[i]);
+  }
+  EXPECT_EQ(with_cone.frames_evaluated, without.frames_evaluated);
+  EXPECT_LT(with_cone.gate_evals, without.gate_evals);
+}
+
+TEST(Proofs, ThreadCountDoesNotChangeWorkMeasures) {
+  const Circuit circuit = retest::testing::MakeRandomCircuit(
+      5, {.num_inputs = 3, .num_dffs = 3, .num_gates = 24});
+  const auto faults = fault::EnumerateFaults(circuit);
+  Rng rng{123};
+  const InputSequence sequence = RandomSequence(rng, 3, 24);
+  ProofsOptions one;
+  one.num_threads = 1;
+  ProofsOptions many;
+  many.num_threads = 4;
+  const auto a = SimulateProofs(circuit, faults, sequence, one);
+  const auto b = SimulateProofs(circuit, faults, sequence, many);
+  EXPECT_EQ(a.frames_evaluated, b.frames_evaluated);
+  EXPECT_EQ(a.gate_evals, b.gate_evals);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(a.detections[i], b.detections[i]);
+  }
 }
 
 TEST(Proofs, BranchFaultStaysLocal) {

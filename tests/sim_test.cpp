@@ -175,6 +175,59 @@ TEST(ParallelFrame, BranchInjectionIsLocal) {
   EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(0), V3::k0);
 }
 
+TEST(ParallelFrame, ConeRestrictedStepMatchesFullEvaluation) {
+  // Two DFF-separated output cones sharing input b; a fault in the g1
+  // cone must leave z2 inactive and still produce the exact full-mode
+  // values on its own cone, including state latched through the DFF.
+  Builder builder("cone");
+  builder.Input("a").Input("b");
+  builder.And("g1", {"a", "b"}).Or("g2", {"a", "b"});
+  builder.Dff("q1", "g1").Dff("q2", "g2");
+  builder.Not("h1", "q1").Buf("h2", "q2");
+  builder.Output("z1", "h1").Output("z2", "h2");
+  const Circuit circuit = builder.Build();
+
+  const Injection injection{circuit.Find("g1"), -1, true, 5};
+  ParallelFrame full(circuit);
+  full.SetInjections({&injection, 1});
+  ParallelFrame cone(circuit);
+  cone.SetInjections({&injection, 1});
+  cone.RestrictToInjectionCones();
+
+  // g1 -> q1 -> h1 -> z1: the cone crosses the DFF but never reaches
+  // the q2 side.
+  EXPECT_TRUE(cone.cone_restricted());
+  EXPECT_EQ(cone.cone_size(), 4);
+  ASSERT_EQ(cone.active_outputs().size(), 1u);
+  EXPECT_EQ(cone.active_outputs()[0], 0);
+  EXPECT_EQ(full.active_outputs().size(), 2u);
+
+  const InputSequence sequence{FromString("00"), FromString("11"),
+                               FromString("10"), FromString("01")};
+  const Trace trace(circuit, sequence);
+  const WordTrace words(trace);
+  std::vector<Word3> full_state(2), cone_state(2);
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    full.Step(sequence[t], full_state);
+    cone.Step(sequence[t], cone_state, words.frame(t));
+    for (const char* net : {"g1", "q1", "h1", "z1"}) {
+      // word() resolves clean (skipped) nodes to the good-machine
+      // word; dirty nodes were actually evaluated this frame.
+      EXPECT_EQ(cone.word(circuit.Find(net), words.frame(t)),
+                full.value(circuit.Find(net)))
+          << net << " at frame " << t;
+    }
+    // Outside the cone the full engine just reproduces the good
+    // machine (the fact the restricted mode exploits).
+    EXPECT_EQ(full.value(circuit.Find("z2")),
+              Word3::Broadcast(trace.value(t, circuit.Find("z2"))));
+  }
+  // Restricted mode evaluates at most g1, h1, z1 per frame — and skips
+  // even those on frames where the fault is not excited; full mode
+  // evaluates all six non-source nodes every frame.
+  EXPECT_LT(cone.gate_evals(), full.gate_evals());
+}
+
 TEST(ParallelFrame, StemInjectionAffectsAllSinks) {
   Builder builder("st");
   builder.Input("a");
