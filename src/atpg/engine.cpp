@@ -2,29 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
-#include "atpg/justify.h"
-#include "atpg/podem.h"
-#include "atpg/unrolled.h"
+#include "atpg/parallel_driver.h"
+#include "atpg/rng.h"
 #include "faultsim/proofs.h"
-#include "faultsim/serial.h"
 
 namespace retest::atpg {
 namespace {
 
 using sim::InputSequence;
 using sim::V3;
-
-struct Rng {
-  std::uint64_t state;
-  std::uint64_t Next() {
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  bool Bit() { return Next() & 1; }
-};
 
 InputSequence RandomSequence(Rng& rng, int num_inputs, int length) {
   InputSequence sequence(static_cast<size_t>(length));
@@ -132,125 +120,9 @@ AtpgResult RunAtpg(const netlist::Circuit& circuit,
     }
   }
 
-  // ---- Deterministic phase ----
-  int max_frames = options.max_frames;
-  if (max_frames <= 0) {
-    max_frames = std::clamp(4 * circuit.num_dffs() + 8, 8, 64);
-  }
-
-  // Learned justification results shared across faults (verification
-  // by fault simulation gates every reuse, so cross-fault sharing is
-  // safe for detection claims).
-  JustifyCache justify_cache;
-
-  // Iterate over a snapshot: `remaining` shrinks as fault simulation of
-  // new tests drops faults.
-  while (!remaining.empty()) {
-    if (clock.ElapsedMs() > options.time_budget_ms) break;
-    const size_t index = remaining.front();
-
-    FaultStatus status = FaultStatus::kAborted;
-    InputSequence found_test;
-
-    // Redundancy proof: one frame, free and observed state.
-    if (options.redundancy_check) {
-      UnrolledModel model(circuit, result.faults[index], 1,
-                          /*free_state=*/true, /*observe_state=*/true);
-      PodemOptions podem_options;
-      podem_options.max_backtracks = options.backtracks_per_fault * 8;
-      podem_options.max_evaluations = options.evaluations_per_fault;
-      const PodemResult proof = RunPodem(model, podem_options);
-      result.evaluations += proof.evaluations;
-      if (proof.status == PodemStatus::kExhausted) {
-        status = FaultStatus::kRedundant;
-      }
-    }
-
-    if (status != FaultStatus::kRedundant &&
-        options.style == AtpgStyle::kForwardIla) {
-      for (int frames = 1; frames <= max_frames; frames *= 2) {
-        if (clock.ElapsedMs() > options.time_budget_ms) break;
-        UnrolledModel model(circuit, result.faults[index], frames);
-        PodemOptions podem_options;
-        podem_options.max_backtracks = options.backtracks_per_fault;
-        podem_options.max_evaluations = options.evaluations_per_fault;
-        const PodemResult search = RunPodem(model, podem_options);
-        result.evaluations += search.evaluations;
-        if (search.status == PodemStatus::kFound) {
-          status = FaultStatus::kDetected;
-          found_test = model.InputSequence();
-          // Unassigned inputs: fill with random binary values (cannot
-          // lose the detection; it only refines X).
-          for (auto& vector : found_test) {
-            for (auto& v : vector) {
-              if (v == V3::kX) v = rng.Bit() ? V3::k1 : V3::k0;
-            }
-          }
-          break;
-        }
-      }
-    } else if (status != FaultStatus::kRedundant) {
-      // HITEC-style: excitation/propagation with a *free* initial
-      // state (growing the window as needed), then backward
-      // justification of the state the test requires, then
-      // verification by fault simulation.
-      for (int frames = 1; frames <= max_frames; frames *= 2) {
-        if (clock.ElapsedMs() > options.time_budget_ms) break;
-        UnrolledModel model(circuit, result.faults[index], frames,
-                            /*free_state=*/true);
-        PodemOptions podem_options;
-        podem_options.max_backtracks = options.backtracks_per_fault;
-        podem_options.max_evaluations = options.evaluations_per_fault;
-        const PodemResult search = RunPodem(model, podem_options);
-        result.evaluations += search.evaluations;
-        if (search.status != PodemStatus::kFound) continue;
-
-        JustifyOptions justify_options;
-        justify_options.max_depth = options.justify_max_depth;
-        justify_options.max_backtracks = options.justify_backtracks;
-
-        auto attempt = [&](JustifyCache* cache) -> bool {
-          const JustifyResult justified =
-              JustifyState(circuit, model.StateAssignments(), justify_options,
-                           result.faults[index], cache);
-          result.evaluations += justified.evaluations;
-          if (justified.status != JustifyStatus::kJustified) return false;
-
-          sim::InputSequence candidate = justified.sequence;
-          for (const auto& vector : model.InputSequence()) {
-            candidate.push_back(vector);
-          }
-          for (auto& vector : candidate) {
-            for (auto& v : vector) {
-              if (v == V3::kX) v = rng.Bit() ? V3::k1 : V3::k0;
-            }
-          }
-          // Verify by fault simulation (HITEC does the same); composite
-          // justification makes success the common case.
-          const auto verdict = faultsim::SimulateSerial(
-              circuit, std::span(&result.faults[index], 1), candidate);
-          result.evaluations += static_cast<long>(candidate.size()) *
-                                static_cast<long>(circuit.size());
-          if (!verdict[0].detected) return false;
-          status = FaultStatus::kDetected;
-          found_test = std::move(candidate);
-          return true;
-        };
-        // Cached sequences come from other faults' composite machines;
-        // when a cached attempt fails, one uncached retry keeps the
-        // cache from costing coverage.
-        if (attempt(&justify_cache) || attempt(nullptr)) break;
-      }
-    }
-
-    result.status[index] = status;
-    remaining.erase(remaining.begin());
-    if (status == FaultStatus::kDetected) {
-      // The generated sequence usually catches more faults.
-      drop_detected(found_test);
-      result.tests.push_back(std::move(found_test));
-    }
-  }
+  // ---- Deterministic phase (fault-parallel; see parallel_driver.h) ----
+  RunDeterministicPhase(circuit, options, remaining, clock.ElapsedMs(),
+                        result);
 
   result.elapsed_ms = clock.ElapsedMs();
   return result;

@@ -7,6 +7,16 @@
 // proof (1 frame, free + observed state) identifying untestable faults.
 // Every knob that the paper's Table II budget story depends on (time
 // budget, backtrack limits, frame caps) is explicit in AtpgOptions.
+//
+// The deterministic phase is fault-parallel: remaining faults are
+// dispatched across a core::ThreadPool, each worker reuses one set of
+// unrolled models (SetFault/GrowFrames instead of reconstruction), and
+// every found test is fault-simulated against the still-pending
+// universe so one worker's test retires other workers' queued faults.
+// Results commit in fault order with per-fault seeded RNGs, so the
+// detected/redundant/aborted sets, the test list and the evaluation
+// counters are identical for a given seed at any thread count (see
+// parallel_driver.h).
 #pragma once
 
 #include <cstdint>
@@ -52,6 +62,17 @@ struct AtpgOptions {
   long time_budget_ms = 10'000;
   /// Attempt the combinational-redundancy proof per aborted fault.
   bool redundancy_check = true;
+  /// Worker threads for the deterministic phase.  <= 0 means
+  /// core::ResolveThreadCount's default (the REPRO_THREADS env var
+  /// when set, else hardware concurrency).  The result is identical at
+  /// any thread count for a given seed (only wall clock changes),
+  /// except when the time budget cuts the run short.
+  int num_threads = 0;
+  /// Reuse per-worker unrolled models across faults and depths
+  /// (SetFault/GrowFrames) instead of reconstructing each one.  Always
+  /// produces identical results; exists as an ablation knob for
+  /// bench_atpg_perf to measure the reconstruction cost.
+  bool reuse_models = true;
 };
 
 /// Per-fault outcome.
@@ -72,6 +93,7 @@ struct AtpgResult {
   std::vector<sim::InputSequence> tests;
   long evaluations = 0;  ///< Deterministic work measure.
   long elapsed_ms = 0;   ///< Wall clock (#CPU column analogue).
+  int threads_used = 1;  ///< Deterministic-phase workers actually used.
 
   int Count(FaultStatus wanted) const;
   /// %FC: detected / total.

@@ -1,0 +1,284 @@
+#include "atpg/parallel_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+
+#include "atpg/justify.h"
+#include "atpg/podem.h"
+#include "atpg/rng.h"
+#include "atpg/unrolled.h"
+#include "core/thread_pool.h"
+#include "faultsim/proofs.h"
+
+namespace retest::atpg {
+namespace {
+
+using sim::InputSequence;
+using sim::V3;
+
+void FillUnassigned(InputSequence& sequence, Rng& rng) {
+  for (auto& vector : sequence) {
+    for (auto& v : vector) {
+      if (v == V3::kX) v = rng.Bit() ? V3::k1 : V3::k0;
+    }
+  }
+}
+
+/// The speculative result of one fault's deterministic search.
+struct FaultOutcome {
+  bool ready = false;
+  FaultStatus status = FaultStatus::kUntried;
+  InputSequence test;     ///< Filled when status == kDetected.
+  long evaluations = 0;   ///< Work this search performed.
+};
+
+/// Per-worker reusable models; constructed lazily on the worker's
+/// first fault and re-armed with SetFault/GrowFrames afterwards.
+struct WorkerModels {
+  std::optional<UnrolledModel> redundancy;  // 1 frame, free + observed
+  std::optional<UnrolledModel> search;      // style-dependent state mode
+};
+
+class Driver {
+ public:
+  Driver(const netlist::Circuit& circuit, const AtpgOptions& options,
+         const std::vector<std::size_t>& remaining, long budget_ms,
+         AtpgResult& result)
+      : circuit_(circuit),
+        options_(options),
+        queue_(remaining),
+        budget_ms_(budget_ms),
+        result_(result),
+        start_(std::chrono::steady_clock::now()),
+        retired_(remaining.size(), 0),
+        outcomes_(remaining.size()) {
+    max_frames_ = options.max_frames;
+    if (max_frames_ <= 0) {
+      max_frames_ = std::clamp(4 * circuit.num_dffs() + 8, 8, 64);
+    }
+  }
+
+  void Run() {
+    if (queue_.empty()) return;
+    const int threads = std::max(
+        1, std::min<int>(core::ResolveThreadCount(options_.num_threads),
+                         static_cast<int>(queue_.size())));
+    result_.threads_used = threads;
+    std::vector<WorkerModels> models(static_cast<std::size_t>(threads));
+    core::ThreadPool pool(threads);
+    pool.ParallelFor(queue_.size(), [&](int worker, std::size_t item) {
+      bool claimed_retired;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        claimed_retired = retired_[item] != 0;
+      }
+      FaultOutcome outcome;  // kUntried: discarded or budget-preempted
+      if (!claimed_retired && !OutOfTime()) {
+        outcome = Search(result_.faults[queue_[item]],
+                         FaultSeed(options_.seed, queue_[item]),
+                         models[static_cast<std::size_t>(worker)]);
+      }
+      Park(item, std::move(outcome));
+    });
+  }
+
+ private:
+  long ElapsedMs() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Latches the stop flag once the budget is gone so every worker
+  /// (and every in-flight PODEM via PodemOptions::stop) sees it.
+  bool OutOfTime() {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    if (ElapsedMs() > budget_ms_) {
+      stop_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Pure per-fault search: depends only on (circuit, fault, seed) and
+  /// the option limits.  Budget preemption reports kUntried so a
+  /// half-searched fault is never committed as a genuine abort.
+  FaultOutcome Search(const fault::Fault& fault, std::uint64_t seed,
+                      WorkerModels& models) {
+    FaultOutcome out;
+    Rng rng{seed};
+    out.status = FaultStatus::kAborted;
+
+    // Redundancy proof: one frame, free and observed state.
+    if (options_.redundancy_check) {
+      if (models.redundancy && options_.reuse_models) {
+        models.redundancy->SetFault(fault);
+      } else {
+        models.redundancy.emplace(circuit_, fault, 1, /*free_state=*/true,
+                                  /*observe_state=*/true);
+      }
+      PodemOptions podem_options;
+      podem_options.max_backtracks = options_.backtracks_per_fault * 8;
+      podem_options.max_evaluations = options_.evaluations_per_fault;
+      podem_options.stop = &stop_;
+      const PodemResult proof = RunPodem(*models.redundancy, podem_options);
+      out.evaluations += proof.evaluations;
+      if (proof.status == PodemStatus::kExhausted) {
+        out.status = FaultStatus::kRedundant;
+        return out;
+      }
+    }
+
+    const bool free_state = options_.style == AtpgStyle::kJustification;
+    for (int frames = 1; frames <= max_frames_; frames *= 2) {
+      if (OutOfTime()) {
+        out.status = FaultStatus::kUntried;
+        return out;
+      }
+      if (!models.search || !options_.reuse_models) {
+        models.search.emplace(circuit_, fault, frames, free_state);
+      } else if (frames == 1) {
+        models.search->SetFault(fault, 1);
+      } else {
+        models.search->GrowFrames(frames);
+      }
+      UnrolledModel& model = *models.search;
+      PodemOptions podem_options;
+      podem_options.max_backtracks = options_.backtracks_per_fault;
+      podem_options.max_evaluations = options_.evaluations_per_fault;
+      podem_options.stop = &stop_;
+      const PodemResult search = RunPodem(model, podem_options);
+      out.evaluations += search.evaluations;
+      if (stop_.load(std::memory_order_relaxed)) {
+        out.status = FaultStatus::kUntried;  // stop-induced abort
+        return out;
+      }
+      if (options_.style == AtpgStyle::kForwardIla) {
+        if (search.status != PodemStatus::kFound) continue;
+        // Unassigned inputs: fill with random binary values (cannot
+        // lose the detection; it only refines X).
+        out.test = model.InputSequence();
+        FillUnassigned(out.test, rng);
+        out.status = FaultStatus::kDetected;
+        return out;
+      }
+      // HITEC-style: backward-justify the state the combinational test
+      // requires, then verify by fault simulation.
+      if (search.status != PodemStatus::kFound) continue;
+      JustifyOptions justify_options;
+      justify_options.max_depth = options_.justify_max_depth;
+      justify_options.max_backtracks = options_.justify_backtracks;
+      const JustifyResult justified = JustifyState(
+          circuit_, model.StateAssignments(), justify_options, fault);
+      out.evaluations += justified.evaluations;
+      if (justified.status != JustifyStatus::kJustified) continue;
+
+      InputSequence candidate = justified.sequence;
+      for (const auto& vector : model.InputSequence()) {
+        candidate.push_back(vector);
+      }
+      FillUnassigned(candidate, rng);
+      // Verify by fault simulation (HITEC does the same) on the
+      // cone-restricted PROOFS engine; single fault, so batching and
+      // site sorting buy nothing.
+      faultsim::ProofsOptions proofs;
+      proofs.num_threads = 1;
+      proofs.sort_faults = false;
+      const auto verdict =
+          faultsim::SimulateProofs(circuit_, std::span(&fault, 1), candidate,
+                                   proofs);
+      out.evaluations += verdict.frames_evaluated *
+                         static_cast<long>(circuit_.size());
+      if (!verdict.detections[0].detected) continue;
+      out.status = FaultStatus::kDetected;
+      out.test = std::move(candidate);
+      return out;
+    }
+    return out;
+  }
+
+  /// Parks a speculative result and advances the commit frontier over
+  /// every contiguous ready outcome.
+  void Park(std::size_t item, FaultOutcome outcome) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outcomes_[item] = std::move(outcome);
+    outcomes_[item].ready = true;
+    while (frontier_ < queue_.size() && outcomes_[frontier_].ready) {
+      Commit(frontier_);
+      ++frontier_;
+    }
+  }
+
+  /// Applies outcome `pos` in fault order (mutex held).  A fault
+  /// retired by an earlier committed test keeps its kDetected status
+  /// and its speculative result is discarded -- the serial semantics
+  /// of never searching an already-detected fault.
+  void Commit(std::size_t pos) {
+    FaultOutcome& outcome = outcomes_[pos];
+    if (retired_[pos]) {
+      outcome.test.clear();
+      return;
+    }
+    const std::size_t fault_index = queue_[pos];
+    result_.status[fault_index] = outcome.status;
+    result_.evaluations += outcome.evaluations;
+    if (outcome.status != FaultStatus::kDetected) return;
+
+    // The generated sequence usually catches more faults: retire them
+    // from the live pending universe beyond the frontier.
+    std::vector<fault::Fault> targets;
+    std::vector<std::size_t> positions;
+    targets.reserve(queue_.size() - pos);
+    for (std::size_t j = pos + 1; j < queue_.size(); ++j) {
+      if (retired_[j]) continue;
+      targets.push_back(result_.faults[queue_[j]]);
+      positions.push_back(j);
+    }
+    if (!targets.empty()) {
+      faultsim::ProofsOptions proofs;
+      proofs.num_threads = 1;  // workers already saturate the pool
+      const auto sim =
+          faultsim::SimulateProofs(circuit_, targets, outcome.test, proofs);
+      result_.evaluations += sim.frames_evaluated *
+                             static_cast<long>(circuit_.size());
+      for (std::size_t k = 0; k < positions.size(); ++k) {
+        if (!sim.detections[k].detected) continue;
+        retired_[positions[k]] = 1;
+        result_.status[queue_[positions[k]]] = FaultStatus::kDetected;
+      }
+    }
+    result_.tests.push_back(std::move(outcome.test));
+  }
+
+  const netlist::Circuit& circuit_;
+  const AtpgOptions& options_;
+  const std::vector<std::size_t>& queue_;
+  const long budget_ms_;
+  AtpgResult& result_;
+  const std::chrono::steady_clock::time_point start_;
+  int max_frames_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;               // guards retired_/outcomes_/frontier_
+  std::vector<char> retired_;      // by queue position
+  std::vector<FaultOutcome> outcomes_;
+  std::size_t frontier_ = 0;
+};
+
+}  // namespace
+
+void RunDeterministicPhase(const netlist::Circuit& circuit,
+                           const AtpgOptions& options,
+                           const std::vector<std::size_t>& remaining,
+                           long elapsed_ms, AtpgResult& result) {
+  Driver driver(circuit, options, remaining,
+                options.time_budget_ms - elapsed_ms, result);
+  driver.Run();
+}
+
+}  // namespace retest::atpg

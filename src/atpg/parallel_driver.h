@@ -1,0 +1,42 @@
+// Fault-parallel deterministic ATPG phase.
+//
+// Remaining faults are dispatched across a core::ThreadPool work queue
+// in fault order.  Each worker keeps two reusable unrolled models (the
+// 1-frame redundancy prover and the depth-doubling search model) and
+// re-arms them per fault with UnrolledModel::SetFault / GrowFrames, so
+// the per-fault path performs no model reconstruction.
+//
+// Determinism at any thread count: each fault's search is a pure
+// function of (circuit, fault, seed) -- per-fault RNG streams, no
+// shared learned state -- and results commit strictly in fault order.
+// A committed test is fault-simulated (cone-restricted PROOFS) against
+// the faults beyond the commit frontier; the retired ones are marked
+// detected, and a speculative search result for a retired fault is
+// discarded at commit, exactly as if the fault had never been
+// searched.  Workers consult the retirement map when they claim a
+// fault, so one worker's test retires other workers' *queued* faults
+// early -- that cooperation only saves wall clock; the committed
+// outcome (status sets, test list, evaluation counters) is identical
+// to a 1-thread run of the same seed.  The wall-clock budget is a
+// shared atomic stop flag: it preempts queued faults (committed as
+// kUntried) and cooperatively aborts in-flight PODEM searches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/engine.h"
+
+namespace retest::atpg {
+
+/// Runs the deterministic phase of RunAtpg over `remaining` (indices
+/// into result.faults that the random phase left undetected), updating
+/// result.status / tests / evaluations / threads_used in place.
+/// `elapsed_ms` is the wall clock RunAtpg already consumed; the phase
+/// honours the remainder of options.time_budget_ms.
+void RunDeterministicPhase(const netlist::Circuit& circuit,
+                           const AtpgOptions& options,
+                           const std::vector<std::size_t>& remaining,
+                           long elapsed_ms, AtpgResult& result);
+
+}  // namespace retest::atpg

@@ -30,7 +30,9 @@ class Podem {
     const long start_evaluations = model_.evaluations();
     while (true) {
       result.evaluations = model_.evaluations() - start_evaluations;
-      if (result.evaluations > options_.max_evaluations) {
+      if (result.evaluations > options_.max_evaluations ||
+          (options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed))) {
         result.status = PodemStatus::kAborted;
         return result;
       }

@@ -9,6 +9,7 @@
 // state-observing).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "atpg/unrolled.h"
@@ -21,6 +22,11 @@ struct PodemOptions {
   /// Cap on node evaluations (the deterministic work measure); the
   /// search aborts when exceeded.
   long max_evaluations = 50'000'000;
+  /// Optional cooperative-preemption flag (not owned): when it becomes
+  /// true the search aborts at the next decision.  The fault-parallel
+  /// ATPG driver uses it to enforce the wall-clock budget across
+  /// workers.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Search outcome.

@@ -1,0 +1,34 @@
+// Deterministic RNG shared by the ATPG driver components.
+//
+// Splitmix64: platform-stable, cheap, and good enough for X-filling
+// test vectors and random-phase sequences.  The fault-parallel
+// deterministic phase derives one stream per fault from (seed, fault
+// index) so a fault's search is a pure function of the fault and the
+// run seed -- never of scheduling or thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace retest::atpg {
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  bool Bit() { return Next() & 1; }
+};
+
+/// Decorrelated per-fault seed: fault `index`'s deterministic-phase
+/// stream depends only on (seed, index).
+inline std::uint64_t FaultSeed(std::uint64_t seed, std::size_t index) {
+  Rng rng{seed ^ (0xbf58476d1ce4e5b9ull *
+                  (static_cast<std::uint64_t>(index) + 1))};
+  return rng.Next();
+}
+
+}  // namespace retest::atpg

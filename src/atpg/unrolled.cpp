@@ -1,5 +1,6 @@
 #include "atpg/unrolled.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace retest::atpg {
@@ -19,30 +20,41 @@ UnrolledModel::UnrolledModel(const netlist::Circuit& circuit,
       observe_state_(observe_state),
       levels_(sim::Levelize(circuit)) {
   if (frames <= 0) throw std::invalid_argument("UnrolledModel: frames <= 0");
-  observe_node_ =
-      fault_.site.pin < 0
-          ? fault_.site.node
-          : circuit.node(fault_.site.node)
-                .fanin[static_cast<size_t>(fault_.site.pin)];
-  assignments_.assign(static_cast<size_t>(frames),
-                      std::vector<V3>(static_cast<size_t>(circuit.num_inputs()),
-                                      V3::kX));
+  observe_node_ = ObserveNodeFor(fault_);
   state_assignments_.assign(static_cast<size_t>(circuit.num_dffs()), V3::kX);
+  EnsureCapacity(frames);
+  Reset();
+}
+
+netlist::NodeId UnrolledModel::ObserveNodeFor(const fault::Fault& fault) const {
+  return fault.site.pin < 0
+             ? fault.site.node
+             : circuit_->node(fault.site.node)
+                   .fanin[static_cast<size_t>(fault.site.pin)];
+}
+
+void UnrolledModel::EnsureCapacity(int frames) {
+  if (frames <= frames_built_) return;
+  const netlist::Circuit& circuit = *circuit_;
   const size_t total =
       static_cast<size_t>(frames) * static_cast<size_t>(circuit.size());
-  values_.assign(total, V5::X());
-  queued_.assign(total, 0);
-  buckets_.assign(static_cast<size_t>(frames) *
-                      static_cast<size_t>(levels_.depth + 2),
-                  {});
-  latched_effect_.assign(
+  assignments_.resize(
+      static_cast<size_t>(frames),
+      std::vector<V3>(static_cast<size_t>(circuit.num_inputs()), V3::kX));
+  values_.resize(total, V5::X());
+  queued_.resize(total, 0);
+  buckets_.resize(static_cast<size_t>(frames) *
+                  static_cast<size_t>(levels_.depth + 2));
+  latched_effect_.resize(
       static_cast<size_t>(frames) * static_cast<size_t>(circuit.num_dffs()),
       0);
-  excited_.assign(static_cast<size_t>(frames), 0);
+  excited_.resize(static_cast<size_t>(frames), 0);
 
-  // Static controllability: a decision input lies in the cone.
-  controllable_.assign(total, 0);
-  for (int t = 0; t < frames_; ++t) {
+  // Static controllability: a decision input lies in the cone.  The
+  // per-frame recurrence only looks at frame t-1, so new frames extend
+  // the existing tables.
+  controllable_.resize(total, 0);
+  for (int t = frames_built_; t < frames; ++t) {
     for (NodeId id : levels_.order) {
       const Node& node = circuit.node(id);
       char value = 0;
@@ -68,8 +80,8 @@ UnrolledModel::UnrolledModel(const netlist::Circuit& circuit,
     }
   }
   // Real-PI reachability (state bits excluded even in free_state).
-  pi_reachable_.assign(total, 0);
-  for (int t = 0; t < frames_; ++t) {
+  pi_reachable_.resize(total, 0);
+  for (int t = frames_built_; t < frames; ++t) {
     for (NodeId id : levels_.order) {
       const Node& node = circuit.node(id);
       char value = 0;
@@ -92,8 +104,123 @@ UnrolledModel::UnrolledModel(const netlist::Circuit& circuit,
       pi_reachable_[index(t, id)] = value;
     }
   }
+  // Fault-free all-X baseline (the Reset restore image).  Frame t only
+  // reads frame t-1, so new frames extend the existing image.
+  baseline_.resize(total, V5::X());
+  for (int t = frames_built_; t < frames; ++t) {
+    for (NodeId id : levels_.order) {
+      baseline_[index(t, id)] = Both(BaselineGood(t, id));
+    }
+  }
+  frames_built_ = frames;
+}
 
-  Evaluate();
+V3 UnrolledModel::BaselineGood(int t, NodeId id) const {
+  const Node& node = circuit_->node(id);
+  switch (node.kind) {
+    case NodeKind::kInput:
+      return V3::kX;  // all-X assignment by definition
+    case NodeKind::kDff:
+      // Frame 0 carries the unknown (or unassigned free) state.
+      return t == 0 ? V3::kX : baseline_[index(t - 1, node.fanin[0])].good;
+    case NodeKind::kConst0:
+      return V3::k0;
+    case NodeKind::kConst1:
+      return V3::k1;
+    case NodeKind::kOutput:
+    case NodeKind::kBuf:
+      return baseline_[index(t, node.fanin[0])].good;
+    case NodeKind::kNot:
+      return sim::Not3(baseline_[index(t, node.fanin[0])].good);
+    case NodeKind::kAnd:
+    case NodeKind::kNand: {
+      V3 out = V3::k1;
+      for (NodeId driver : node.fanin) {
+        out = sim::And3(out, baseline_[index(t, driver)].good);
+      }
+      return node.kind == NodeKind::kNand ? sim::Not3(out) : out;
+    }
+    case NodeKind::kOr:
+    case NodeKind::kNor: {
+      V3 out = V3::k0;
+      for (NodeId driver : node.fanin) {
+        out = sim::Or3(out, baseline_[index(t, driver)].good);
+      }
+      return node.kind == NodeKind::kNor ? sim::Not3(out) : out;
+    }
+    case NodeKind::kXor:
+    case NodeKind::kXnor: {
+      V3 out = V3::k0;
+      for (NodeId driver : node.fanin) {
+        out = sim::Xor3(out, baseline_[index(t, driver)].good);
+      }
+      return node.kind == NodeKind::kXnor ? sim::Not3(out) : out;
+    }
+  }
+  return V3::kX;
+}
+
+void UnrolledModel::Reset() {
+  for (auto& vector : assignments_) {
+    std::fill(vector.begin(), vector.end(), V3::kX);
+  }
+  std::fill(state_assignments_.begin(), state_assignments_.end(), V3::kX);
+  // Restore the fault-free all-X baseline over the logical frames.
+  // Frames beyond frames_ may hold stale values from an earlier,
+  // deeper search, but nothing reads them before a later Reset (via
+  // GrowFrames/SetFault) restores that range too.
+  const size_t active =
+      static_cast<size_t>(frames_) * static_cast<size_t>(circuit_->size());
+  std::copy(baseline_.begin(), baseline_.begin() + static_cast<long>(active),
+            values_.begin());
+  std::fill(latched_effect_.begin(), latched_effect_.end(), 0);
+  effect_nodes_.clear();
+  observed_count_ = 0;
+  // Excitation bookkeeping against the restored values: the good value
+  // at the observe node is the baseline one (fault injection only
+  // changes faulty components, and only downstream).
+  const V3 stuck = fault_.stuck_at_1 ? V3::k1 : V3::k0;
+  std::fill(excited_.begin(), excited_.end(), 0);
+  excited_count_ = 0;
+  for (int t = 0; t < frames_; ++t) {
+    const V3 good = values_[index(t, observe_node_)].good;
+    if (good != V3::kX && good != stuck) {
+      excited_[static_cast<size_t>(t)] = 1;
+      ++excited_count_;
+    }
+  }
+  // Pseudo-PO observations of the restored image.  A fault on a DFF
+  // data pin shows as a latched effect even where the values match the
+  // baseline (LatchedValue applies the pin fault itself), so this must
+  // be re-derived rather than zeroed.
+  if (observe_state_) {
+    for (int t = 0; t < frames_; ++t) {
+      for (int i = 0; i < circuit_->num_dffs(); ++i) {
+        UpdateLatchedObservation(t, i);
+      }
+    }
+  }
+  // Re-inject the fault: only its downstream cone can differ from the
+  // fault-free baseline.
+  for (int t = 0; t < frames_; ++t) Touch(t, fault_.site.node);
+  Propagate();
+}
+
+void UnrolledModel::SetFault(const fault::Fault& fault, int frames) {
+  fault_ = fault;
+  observe_node_ = ObserveNodeFor(fault_);
+  if (frames > 0) {
+    EnsureCapacity(frames);
+    frames_ = frames;
+  }
+  Reset();
+}
+
+void UnrolledModel::GrowFrames(int frames) {
+  if (frames <= 0) throw std::invalid_argument("GrowFrames: frames <= 0");
+  EnsureCapacity(frames);
+  frames_ = frames;
+  Reset();
 }
 
 V5 UnrolledModel::Compute(int t, NodeId id) const {

@@ -1,7 +1,7 @@
 // Iterative-logic-array (time-frame-expanded) circuit model for
 // sequential test generation.
 //
-// The sequential circuit is unrolled for a fixed number of frames; the
+// The sequential circuit is unrolled for a number of frames; the
 // fault is injected in every frame; frame-0 DFF outputs carry the
 // unknown initial state (uncontrollable X) unless the model is put in
 // `free_state` mode, where they become pseudo-primary inputs (used for
@@ -10,6 +10,13 @@
 // re-evaluated), and the model incrementally tracks everything PODEM
 // polls every decision: fault-effect sites, primary-output effects and
 // excitation frames.
+//
+// The model is reusable: SetFault re-arms it for another fault of the
+// same circuit and GrowFrames changes the unroll depth, both reusing
+// the levelization, the static controllability tables and every buffer
+// (capacity is kept at its high-water mark), so a fault-parallel ATPG
+// driver pays the construction cost once per worker instead of once
+// per (fault, depth).
 #pragma once
 
 #include <set>
@@ -54,6 +61,25 @@ class UnrolledModel {
   const fault::Fault& fault() const { return fault_; }
   int frames() const { return frames_; }
   bool free_state() const { return free_state_; }
+
+  /// Clears every PI/state assignment back to X and re-derives all
+  /// values and bookkeeping.  No allocation: restores the cached
+  /// fault-free all-X baseline wholesale and re-evaluates only the
+  /// injected fault's downstream cone, so re-arming costs O(values
+  /// restored + cone) instead of a full Evaluate.
+  void Reset();
+
+  /// Re-arms the model for a different fault of the same circuit (and,
+  /// when `frames` > 0, a different unroll depth) and Resets.  Reuses
+  /// the levelization, static tables and value buffers; equivalent to
+  /// constructing a fresh model with the same parameters.
+  void SetFault(const fault::Fault& fault, int frames = 0);
+
+  /// Changes the unroll depth (keeping the fault) and Resets.  Buffer
+  /// capacity and the static controllability tables only ever grow
+  /// (high-water mark), so a doubling search loop that later shrinks
+  /// back to 1 frame for the next fault never re-allocates.
+  void GrowFrames(int frames);
 
   /// Sets/clears a PI assignment (3-valued, applied to both machines)
   /// and propagates the change through the affected cone.
@@ -117,7 +143,8 @@ class UnrolledModel {
   /// unassigned); one vector per frame.  This is the test when the
   /// search succeeds.
   std::vector<std::vector<sim::V3>> InputSequence() const {
-    return assignments_;
+    return {assignments_.begin(),
+            assignments_.begin() + static_cast<long>(frames_)};
   }
 
   /// Full from-scratch re-evaluation; used by tests to cross-check the
@@ -129,6 +156,19 @@ class UnrolledModel {
     return static_cast<size_t>(frame) * static_cast<size_t>(circuit_->size()) +
            static_cast<size_t>(node);
   }
+
+  /// The net whose good value excites `fault` (the branch's driver for
+  /// pin faults, the node itself for stem faults).
+  netlist::NodeId ObserveNodeFor(const fault::Fault& fault) const;
+
+  /// Grows every frame-major buffer and extends the static
+  /// controllability/PI-reachability tables and the fault-free
+  /// baseline up to `frames` (no-op for frames already built).
+  void EnsureCapacity(int frames);
+
+  /// Fault-free good value of (t, id) under all-X inputs/state,
+  /// reading previously computed entries of `baseline_`.
+  sim::V3 BaselineGood(int t, netlist::NodeId id) const;
 
   /// Recomputes the value of (t, id) from its fanins and the fault
   /// injection; returns the new value.
@@ -151,6 +191,7 @@ class UnrolledModel {
   const netlist::Circuit* circuit_;
   fault::Fault fault_;
   int frames_;
+  int frames_built_ = 0;  ///< Capacity high-water mark (>= frames_).
   bool free_state_;
   bool observe_state_;
   sim::Levelization levels_;
@@ -161,6 +202,9 @@ class UnrolledModel {
   std::vector<std::vector<sim::V3>> assignments_;
   std::vector<sim::V3> state_assignments_;
   std::vector<V5> values_;        // [frame * size + node]
+  /// Fault-free evaluation under all-X inputs and state (good ==
+  /// faulty everywhere); the restore image Reset starts from.
+  std::vector<V5> baseline_;
   std::vector<char> controllable_;
   std::vector<char> pi_reachable_;
 

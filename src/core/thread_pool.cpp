@@ -14,6 +14,11 @@ int ThreadPool::DefaultThreadCount() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+int ResolveThreadCount(int requested) {
+  if (requested > 0) return std::min(requested, 512);
+  return ThreadPool::DefaultThreadCount();
+}
+
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(num_threads > 0 ? num_threads : DefaultThreadCount()) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));

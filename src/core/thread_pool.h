@@ -17,6 +17,13 @@
 
 namespace retest::core {
 
+/// Resolves a user-facing `num_threads` knob the way every parallel
+/// subsystem (PROOFS batches, the fault-parallel ATPG driver) agrees
+/// on: positive values are taken literally (clamped to 512), anything
+/// else means ThreadPool::DefaultThreadCount() -- the `REPRO_THREADS`
+/// env override when set, hardware concurrency otherwise.
+int ResolveThreadCount(int requested);
+
 class ThreadPool {
  public:
   /// Worker callback: `worker` in [0, size()) identifies the executing

@@ -80,9 +80,7 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
   const std::vector<size_t> order =
       BatchOrder(circuit, faults, options.sort_faults);
   const size_t num_batches = (faults.size() + 63) / 64;
-  const int requested = options.num_threads > 0
-                            ? options.num_threads
-                            : core::ThreadPool::DefaultThreadCount();
+  const int requested = core::ResolveThreadCount(options.num_threads);
   const int num_threads =
       static_cast<int>(std::min<size_t>(num_batches,
                                         static_cast<size_t>(requested)));

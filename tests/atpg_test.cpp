@@ -210,6 +210,96 @@ TEST(Unrolled, IncrementalMatchesFullEvaluation) {
   }
 }
 
+TEST(Unrolled, SetFaultMatchesFreshConstruction) {
+  // A model re-armed with SetFault must be indistinguishable from a
+  // freshly constructed one, fault after fault, including under
+  // incremental assignments.
+  const Circuit circuit = retest::testing::MakeFig5N1();
+  const auto faults = fault::Collapse(circuit).representatives;
+  ASSERT_GT(faults.size(), 2u);
+  UnrolledModel reused(circuit, faults[0], 4);
+  std::uint64_t state = 17;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (const fault::Fault& fault : faults) {
+    reused.SetFault(fault);
+    UnrolledModel fresh(circuit, fault, 4);
+    for (int step = 0; step < 30; ++step) {
+      const FramePi pi{static_cast<int>(next() % 4),
+                       static_cast<int>(next() % 3)};
+      const V3 value = static_cast<V3>(next() % 3);
+      reused.AssignPi(pi, value);
+      fresh.AssignPi(pi, value);
+    }
+    for (int t = 0; t < 4; ++t) {
+      for (netlist::NodeId id = 0; id < circuit.size(); ++id) {
+        ASSERT_EQ(reused.value({t, id}), fresh.value({t, id}))
+            << fault::ToString(circuit, fault) << " frame " << t << " node "
+            << circuit.node(id).name;
+      }
+    }
+    ASSERT_EQ(reused.FaultObserved(), fresh.FaultObserved());
+    ASSERT_EQ(reused.FaultExcited(), fresh.FaultExcited());
+    ASSERT_EQ(reused.InputSequence(), fresh.InputSequence());
+  }
+}
+
+TEST(Unrolled, GrowFramesMatchesFreshConstruction) {
+  // Depth doubling on one reusable model (including shrinking back for
+  // the next fault) must match construction at the target depth.
+  const Circuit circuit = retest::testing::MakeFig5N1();
+  const fault::Fault fault{{circuit.Find("g1"), -1}, false};
+  UnrolledModel grown(circuit, fault, 1);
+  std::uint64_t state = 23;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int frames : {2, 4, 8, 1, 4}) {  // grow, shrink, regrow
+    grown.GrowFrames(frames);
+    UnrolledModel fresh(circuit, fault, frames);
+    for (int step = 0; step < 25; ++step) {
+      const FramePi pi{static_cast<int>(next() % frames),
+                       static_cast<int>(next() % 3)};
+      const V3 value = static_cast<V3>(next() % 3);
+      grown.AssignPi(pi, value);
+      fresh.AssignPi(pi, value);
+    }
+    ASSERT_EQ(grown.frames(), frames);
+    ASSERT_EQ(grown.InputSequence().size(), static_cast<size_t>(frames));
+    for (int t = 0; t < frames; ++t) {
+      for (netlist::NodeId id = 0; id < circuit.size(); ++id) {
+        ASSERT_EQ(grown.value({t, id}), fresh.value({t, id}))
+            << frames << " frames, frame " << t << " node "
+            << circuit.node(id).name;
+      }
+    }
+    ASSERT_EQ(grown.FaultObserved(), fresh.FaultObserved());
+    ASSERT_EQ(grown.FaultExcited(), fresh.FaultExcited());
+  }
+}
+
+TEST(Unrolled, SetFaultMatchesFreshFreeObservedModel) {
+  // The redundancy-proof configuration (free + observed state) must
+  // also be reusable: PODEM verdicts agree with fresh models.
+  const Circuit circuit = retest::testing::MakeFig5N1();
+  const auto faults = fault::Collapse(circuit).representatives;
+  UnrolledModel reused(circuit, faults[0], 1, /*free_state=*/true,
+                       /*observe_state=*/true);
+  for (const fault::Fault& fault : faults) {
+    reused.SetFault(fault);
+    UnrolledModel fresh(circuit, fault, 1, /*free_state=*/true,
+                        /*observe_state=*/true);
+    const PodemResult a = RunPodem(reused);
+    const PodemResult b = RunPodem(fresh);
+    ASSERT_EQ(a.status, b.status) << fault::ToString(circuit, fault);
+    ASSERT_EQ(a.backtracks, b.backtracks);
+    ASSERT_EQ(reused.InputSequence(), fresh.InputSequence());
+  }
+}
+
 TEST(Justify, TrivialTargetNeedsNothing) {
   const Circuit circuit = retest::testing::MakeFig5N1();
   const std::vector<V3> target(3, V3::kX);
