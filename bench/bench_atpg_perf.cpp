@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "atpg/engine.h"
+#include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "experiments.h"
 
@@ -215,7 +216,9 @@ void EmitJson(const std::vector<CircuitReport>& reports,
                  scaling[i].first, scaling[i].second,
                  i + 1 < scaling.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  // Cumulative engine metrics for every run above (docs/METRICS.md).
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               core::metrics::ToJson(2).c_str());
   std::fclose(f);
 }
 

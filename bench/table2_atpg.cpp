@@ -6,10 +6,61 @@
 // seconds; the columns to compare are the *shape*: retiming inflates
 // #DFF, lowers %FC/%FE, and blows up the CPU ratio.  Budgets are
 // scaled down by default; set REPRO_FULL=1 for 10x budgets.
+//
+// Besides the stdout table, emits BENCH_table2.json (one row per
+// circuit pair plus the cumulative engine metrics snapshot; see
+// docs/METRICS.md) into the current directory.
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "core/metrics.h"
 #include "experiments.h"
+
+namespace {
+
+struct Row {
+  std::string name;
+  int original_dffs = 0;
+  int retimed_dffs = 0;
+  double original_fc = 0, original_fe = 0;
+  double retimed_fc = 0, retimed_fe = 0;
+  long original_cpu_ms = 0, retimed_cpu_ms = 0;
+  double ratio = 0;
+};
+
+void EmitJson(const std::vector<Row>& rows, double geomean_ratio,
+              long original_budget, long retimed_budget) {
+  std::FILE* f = std::fopen("BENCH_table2.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_table2.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"mode\": \"%s\",\n  \"budget_original_ms\": %ld,\n"
+               "  \"budget_retimed_ms\": %ld,\n  \"rows\": [\n",
+               retest::bench::FullMode() ? "full" : "scaled", original_budget,
+               retimed_budget);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"original\": {\"dffs\": %d, "
+                 "\"fc\": %.2f, \"fe\": %.2f, \"cpu_ms\": %ld}, "
+                 "\"retimed\": {\"dffs\": %d, \"fc\": %.2f, \"fe\": %.2f, "
+                 "\"cpu_ms\": %ld}, \"cpu_ratio\": %.2f}%s\n",
+                 r.name.c_str(), r.original_dffs, r.original_fc, r.original_fe,
+                 r.original_cpu_ms, r.retimed_dffs, r.retimed_fc, r.retimed_fe,
+                 r.retimed_cpu_ms, r.ratio,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"geomean_cpu_ratio\": %.3f,\n", geomean_ratio);
+  std::fprintf(f, "  \"metrics\": %s\n}\n",
+               retest::core::metrics::ToJson(2).c_str());
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main() {
   using namespace retest;
@@ -24,33 +75,42 @@ int main() {
               "#DFF", "%FC", "%FE", "#CPU", "#DFF", "%FC", "%FE", "#CPU",
               "CPU Ratio");
 
+  std::vector<Row> rows;
   double ratio_product = 1.0;
-  int rows = 0;
   for (const auto& variant : bench::Table2Variants()) {
     const bench::Prepared prepared = bench::PrepareVariant(variant);
     const auto original_result = atpg::RunAtpg(
         prepared.original, bench::Table2AtpgOptions(original_budget));
     const auto retimed_result = atpg::RunAtpg(
         prepared.retimed, bench::Table2AtpgOptions(retimed_budget));
-    const double ratio =
-        original_result.elapsed_ms > 0
-            ? static_cast<double>(retimed_result.elapsed_ms) /
-                  static_cast<double>(original_result.elapsed_ms)
-            : 0.0;
-    ratio_product *= ratio > 0 ? ratio : 1.0;
-    ++rows;
+    Row row;
+    row.name = prepared.original.name();
+    row.original_dffs = prepared.original.num_dffs();
+    row.retimed_dffs = prepared.retimed.num_dffs();
+    row.original_fc = original_result.FaultCoverage();
+    row.original_fe = original_result.FaultEfficiency();
+    row.retimed_fc = retimed_result.FaultCoverage();
+    row.retimed_fe = retimed_result.FaultEfficiency();
+    row.original_cpu_ms = original_result.elapsed_ms;
+    row.retimed_cpu_ms = retimed_result.elapsed_ms;
+    row.ratio = original_result.elapsed_ms > 0
+                    ? static_cast<double>(retimed_result.elapsed_ms) /
+                          static_cast<double>(original_result.elapsed_ms)
+                    : 0.0;
+    ratio_product *= row.ratio > 0 ? row.ratio : 1.0;
     std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
-                prepared.original.name().c_str(), prepared.original.num_dffs(),
-                original_result.FaultCoverage(),
-                original_result.FaultEfficiency(), original_result.elapsed_ms,
-                prepared.retimed.num_dffs(), retimed_result.FaultCoverage(),
-                retimed_result.FaultEfficiency(), retimed_result.elapsed_ms,
-                ratio);
+                row.name.c_str(), row.original_dffs, row.original_fc,
+                row.original_fe, row.original_cpu_ms, row.retimed_dffs,
+                row.retimed_fc, row.retimed_fe, row.retimed_cpu_ms, row.ratio);
     std::fflush(stdout);
+    rows.push_back(std::move(row));
   }
-  if (rows > 0) {
-    std::printf("\ngeometric-mean CPU ratio: %.1fx\n",
-                std::pow(ratio_product, 1.0 / rows));
+  double geomean = 0;
+  if (!rows.empty()) {
+    geomean = std::pow(ratio_product, 1.0 / static_cast<double>(rows.size()));
+    std::printf("\ngeometric-mean CPU ratio: %.1fx\n", geomean);
   }
+  EmitJson(rows, geomean, original_budget, retimed_budget);
+  std::printf("wrote BENCH_table2.json (%zu rows)\n", rows.size());
   return 0;
 }

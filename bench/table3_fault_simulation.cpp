@@ -8,13 +8,58 @@
 // vectors.  The undetected-fault counts on the original and retimed
 // circuits should track each other closely (residual differences come
 // from line splits/merges changing the collapsed-fault counts).
+//
+// Besides the stdout table, emits BENCH_table3.json (one row per
+// circuit pair plus the cumulative engine metrics snapshot; see
+// docs/METRICS.md) into the current directory.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "core/metrics.h"
 #include "core/preserve.h"
 #include "core/testset.h"
 #include "experiments.h"
 #include "fault/collapse.h"
 #include "faultsim/proofs.h"
+
+namespace {
+
+struct Row {
+  std::string name;
+  int original_faults = 0, original_undetected = 0;
+  int retimed_faults = 0, retimed_undetected = 0;
+  double original_fc = 0, retimed_fc = 0;
+  int prefix = 0;
+};
+
+void EmitJson(const std::vector<Row>& rows, long budget) {
+  std::FILE* f = std::fopen("BENCH_table3.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_table3.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"mode\": \"%s\",\n  \"atpg_budget_ms\": %ld,\n"
+               "  \"rows\": [\n",
+               retest::bench::FullMode() ? "full" : "scaled", budget);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"original\": {\"faults\": %d, "
+                 "\"undetected\": %d, \"fc\": %.2f}, "
+                 "\"retimed\": {\"faults\": %d, \"undetected\": %d, "
+                 "\"fc\": %.2f}, \"prefix\": %d}%s\n",
+                 r.name.c_str(), r.original_faults, r.original_undetected,
+                 r.original_fc, r.retimed_faults, r.retimed_undetected,
+                 r.retimed_fc, r.prefix, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               retest::core::metrics::ToJson(2).c_str());
+  std::fclose(f);
+}
+
+}  // namespace
 
 int main() {
   using namespace retest;
@@ -27,6 +72,7 @@ int main() {
               "#Faults", "#UnDet", "%FC", "#Faults", "#UnDet", "%FC",
               "Prefix");
 
+  std::vector<Row> rows;
   for (const auto& variant : bench::Table2Variants()) {
     const bench::Prepared prepared = bench::PrepareVariant(variant);
 
@@ -52,20 +98,27 @@ int main() {
         prepared.retimed, retimed_faults.representatives,
         derived.Concatenated());
 
-    const int original_total =
+    Row row;
+    row.name = prepared.original.name();
+    row.original_faults =
         static_cast<int>(original_faults.representatives.size());
-    const int retimed_total =
+    row.retimed_faults =
         static_cast<int>(retimed_faults.representatives.size());
-    const int original_undetected =
-        original_total - original_sim.num_detected();
-    const int retimed_undetected = retimed_total - retimed_sim.num_detected();
+    row.original_undetected =
+        row.original_faults - original_sim.num_detected();
+    row.retimed_undetected = row.retimed_faults - retimed_sim.num_detected();
+    row.original_fc =
+        100.0 * original_sim.num_detected() / row.original_faults;
+    row.retimed_fc = 100.0 * retimed_sim.num_detected() / row.retimed_faults;
+    row.prefix = prefix;
     std::printf("%-12s | %7d %7d %6.1f | %7d %7d %6.1f | %6d\n",
-                prepared.original.name().c_str(), original_total,
-                original_undetected,
-                100.0 * original_sim.num_detected() / original_total,
-                retimed_total, retimed_undetected,
-                100.0 * retimed_sim.num_detected() / retimed_total, prefix);
+                row.name.c_str(), row.original_faults, row.original_undetected,
+                row.original_fc, row.retimed_faults, row.retimed_undetected,
+                row.retimed_fc, row.prefix);
     std::fflush(stdout);
+    rows.push_back(std::move(row));
   }
+  EmitJson(rows, budget);
+  std::printf("wrote BENCH_table3.json (%zu rows)\n", rows.size());
   return 0;
 }

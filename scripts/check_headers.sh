@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Header hygiene: every header under src/ must compile stand-alone
+# (self-contained includes, no hidden ordering dependencies).  Run from
+# the repository root:
+#
+#   bash scripts/check_headers.sh            # default compiler (g++)
+#   CXX=clang++ bash scripts/check_headers.sh
+#
+# Exits non-zero if any header fails -fsyntax-only.
+set -u
+cd "$(dirname "$0")/.."
+
+cxx="${CXX:-g++}"
+flags=(-std=c++20 -fsyntax-only -Wall -Isrc -I.)
+
+fail=0
+checked=0
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  # -include into an empty TU (instead of naming the header as the main
+  # file) so `#pragma once` does not warn.
+  if ! "$cxx" "${flags[@]}" -include "$header" -x c++ /dev/null; then
+    echo "FAIL: $header" >&2
+    fail=1
+  fi
+done < <(find src tests bench -name '*.h' | sort)
+
+if [ "$checked" -eq 0 ]; then
+  echo "no headers found -- run from the repository root" >&2
+  exit 1
+fi
+echo "checked $checked headers with $cxx ($([ "$fail" -eq 0 ] && echo OK || echo FAILURES))"
+exit "$fail"

@@ -6,6 +6,8 @@
 
 #include "atpg/parallel_driver.h"
 #include "atpg/rng.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "faultsim/proofs.h"
 
 namespace retest::atpg {
@@ -67,6 +69,8 @@ InputSequence AtpgResult::ConcatenatedTests() const {
 
 AtpgResult RunAtpg(const netlist::Circuit& circuit,
                    const AtpgOptions& options) {
+  RETEST_TRACE_SPAN(run_span, "atpg.run");
+  RETEST_COUNTER_ADD("atpg.runs", "runs", "atpg", "RunAtpg invocations", 1);
   const Clock clock;
   Rng rng{options.seed};
 
@@ -102,21 +106,32 @@ AtpgResult RunAtpg(const netlist::Circuit& circuit,
   };
 
   // ---- Random phase ----
-  const int sequence_length =
-      options.random_length_factor * (circuit.num_dffs() + 4);
-  int useless = 0;
-  for (int round = 0; round < options.random_rounds; ++round) {
-    if (remaining.empty() || useless >= options.random_patience ||
-        clock.ElapsedMs() > options.time_budget_ms) {
-      break;
-    }
-    InputSequence sequence =
-        RandomSequence(rng, circuit.num_inputs(), sequence_length);
-    if (drop_detected(sequence) > 0) {
-      result.tests.push_back(std::move(sequence));
-      useless = 0;
-    } else {
-      ++useless;
+  {
+    RETEST_TRACE_SPAN(random_span, "atpg.random_phase");
+    const int sequence_length =
+        options.random_length_factor * (circuit.num_dffs() + 4);
+    int useless = 0;
+    for (int round = 0; round < options.random_rounds; ++round) {
+      if (remaining.empty() || useless >= options.random_patience ||
+          clock.ElapsedMs() > options.time_budget_ms) {
+        break;
+      }
+      InputSequence sequence =
+          RandomSequence(rng, circuit.num_inputs(), sequence_length);
+      RETEST_COUNTER_ADD("atpg.random.sequences", "sequences", "atpg",
+                         "candidate sequences tried by the random phase", 1);
+      const int newly = drop_detected(sequence);
+      if (newly > 0) {
+        RETEST_COUNTER_ADD("atpg.random.sequences_kept", "sequences", "atpg",
+                           "random sequences kept (detected a new fault)",
+                           1);
+        RETEST_COUNTER_ADD("atpg.random.faults_dropped", "faults", "atpg",
+                           "faults detected by the random phase", newly);
+        result.tests.push_back(std::move(sequence));
+        useless = 0;
+      } else {
+        ++useless;
+      }
     }
   }
 

@@ -12,7 +12,9 @@
 #include "atpg/podem.h"
 #include "atpg/rng.h"
 #include "atpg/unrolled.h"
+#include "core/metrics.h"
 #include "core/thread_pool.h"
+#include "core/trace.h"
 #include "faultsim/proofs.h"
 
 namespace retest::atpg {
@@ -65,6 +67,10 @@ class Driver {
 
   void Run() {
     if (queue_.empty()) return;
+    RETEST_TRACE_SPAN(phase_span, "atpg.deterministic_phase");
+    RETEST_COUNTER_ADD("atpg.det.faults_dispatched", "faults", "atpg",
+                       "faults entering the deterministic phase",
+                       static_cast<long>(queue_.size()));
     const int threads = std::max(
         1, std::min<int>(core::ResolveThreadCount(options_.num_threads),
                          static_cast<int>(queue_.size())));
@@ -78,7 +84,21 @@ class Driver {
         claimed_retired = retired_[item] != 0;
       }
       FaultOutcome outcome;  // kUntried: discarded or budget-preempted
-      if (!claimed_retired && !OutOfTime()) {
+      if (claimed_retired) {
+        RETEST_COUNTER_ADD("atpg.det.faults_claimed_retired", "faults",
+                           "atpg",
+                           "faults already retired when a worker claimed "
+                           "them (searches skipped)",
+                           1);
+      } else if (OutOfTime()) {
+        RETEST_COUNTER_ADD("atpg.det.budget_preemptions", "faults", "atpg",
+                           "faults preempted (kUntried) by the wall-clock "
+                           "budget before their search started",
+                           1);
+      } else {
+        RETEST_TRACE_SPAN(search_span, "atpg.fault_search");
+        RETEST_SCOPED_TIMER(search_timer, "atpg.fault_search_ms", "atpg",
+                            "wall time of one fault's deterministic search");
         outcome = Search(result_.faults[queue_[item]],
                          FaultSeed(options_.seed, queue_[item]),
                          models[static_cast<std::size_t>(worker)]);
@@ -99,7 +119,12 @@ class Driver {
   bool OutOfTime() {
     if (stop_.load(std::memory_order_relaxed)) return true;
     if (ElapsedMs() > budget_ms_) {
-      stop_.store(true, std::memory_order_relaxed);
+      if (!stop_.exchange(true, std::memory_order_relaxed)) {
+        RETEST_COUNTER_ADD("atpg.det.budget_stops", "stops", "atpg",
+                           "deterministic phases cut short by the "
+                           "wall-clock budget",
+                           1);
+      }
       return true;
     }
     return false;
@@ -176,6 +201,14 @@ class Driver {
       const JustifyResult justified = JustifyState(
           circuit_, model.StateAssignments(), justify_options, fault);
       out.evaluations += justified.evaluations;
+      RETEST_COUNTER_ADD("atpg.justify.calls", "calls", "atpg",
+                         "backward state-justification attempts", 1);
+      if (justified.status == JustifyStatus::kJustified) {
+        RETEST_COUNTER_ADD("atpg.justify.justified", "calls", "atpg",
+                           "justification attempts that found a state "
+                           "sequence",
+                           1);
+      }
       if (justified.status != JustifyStatus::kJustified) continue;
 
       InputSequence candidate = justified.sequence;
@@ -221,6 +254,10 @@ class Driver {
   void Commit(std::size_t pos) {
     FaultOutcome& outcome = outcomes_[pos];
     if (retired_[pos]) {
+      RETEST_COUNTER_ADD("atpg.det.speculation_discarded", "faults", "atpg",
+                         "speculative results discarded at commit because "
+                         "an earlier test already retired the fault",
+                         1);
       outcome.test.clear();
       return;
     }
@@ -246,12 +283,20 @@ class Driver {
           faultsim::SimulateProofs(circuit_, targets, outcome.test, proofs);
       result_.evaluations += sim.frames_evaluated *
                              static_cast<long>(circuit_.size());
+      long cross_retired = 0;
       for (std::size_t k = 0; k < positions.size(); ++k) {
         if (!sim.detections[k].detected) continue;
         retired_[positions[k]] = 1;
         result_.status[queue_[positions[k]]] = FaultStatus::kDetected;
+        ++cross_retired;
       }
+      RETEST_COUNTER_ADD("atpg.det.faults_cross_retired", "faults", "atpg",
+                         "pending faults retired by another fault's "
+                         "committed test",
+                         cross_retired);
     }
+    RETEST_COUNTER_ADD("atpg.det.tests_committed", "tests", "atpg",
+                       "tests committed by the deterministic phase", 1);
     result_.tests.push_back(std::move(outcome.test));
   }
 

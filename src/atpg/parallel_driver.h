@@ -20,6 +20,13 @@
 // to a 1-thread run of the same seed.  The wall-clock budget is a
 // shared atomic stop flag: it preempts queued faults (committed as
 // kUntried) and cooperatively aborts in-flight PODEM searches.
+//
+// tests/atpg_parallel_test.cpp locks the contract in;
+// docs/ARCHITECTURE.md states it alongside the other subsystem
+// invariants.  The phase's atpg.det.* / atpg.justify.* metrics and
+// atpg.* trace spans (docs/METRICS.md) are observational only --
+// budget-preemption *counts* vary run to run, committed results never
+// do.
 #pragma once
 
 #include <cstddef>

@@ -3,6 +3,8 @@
 #include <optional>
 #include <vector>
 
+#include "core/metrics.h"
+
 namespace retest::atpg {
 namespace {
 
@@ -243,7 +245,29 @@ class Podem {
 
 PodemResult RunPodem(UnrolledModel& model, const PodemOptions& options) {
   Podem podem(model, options);
-  return podem.Run();
+  const PodemResult result = podem.Run();
+  RETEST_COUNTER_ADD("atpg.podem.searches", "searches", "atpg",
+                     "RunPodem invocations", 1);
+  RETEST_COUNTER_ADD("atpg.podem.backtracks", "backtracks", "atpg",
+                     "PODEM decision-flip backtracks", result.backtracks);
+  RETEST_COUNTER_ADD("atpg.podem.evaluations", "node-evals", "atpg",
+                     "unrolled-model node evaluations inside PODEM",
+                     result.evaluations);
+  switch (result.status) {
+    case PodemStatus::kFound:
+      RETEST_COUNTER_ADD("atpg.podem.found", "searches", "atpg",
+                         "searches that found a test", 1);
+      break;
+    case PodemStatus::kExhausted:
+      RETEST_COUNTER_ADD("atpg.podem.exhausted", "searches", "atpg",
+                         "complete searches (no test for the model)", 1);
+      break;
+    case PodemStatus::kAborted:
+      RETEST_COUNTER_ADD("atpg.podem.aborted", "searches", "atpg",
+                         "searches stopped by a limit or preemption", 1);
+      break;
+  }
+  return result;
 }
 
 }  // namespace retest::atpg

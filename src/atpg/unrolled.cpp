@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/metrics.h"
+
 namespace retest::atpg {
 
 using netlist::Node;
@@ -161,6 +163,8 @@ V3 UnrolledModel::BaselineGood(int t, NodeId id) const {
 }
 
 void UnrolledModel::Reset() {
+  RETEST_COUNTER_ADD("atpg.model.resets", "resets", "atpg",
+                     "UnrolledModel baseline restores", 1);
   for (auto& vector : assignments_) {
     std::fill(vector.begin(), vector.end(), V3::kX);
   }
@@ -207,6 +211,8 @@ void UnrolledModel::Reset() {
 }
 
 void UnrolledModel::SetFault(const fault::Fault& fault, int frames) {
+  RETEST_COUNTER_ADD("atpg.model.set_fault", "re-arms", "atpg",
+                     "UnrolledModel re-arms for another fault", 1);
   fault_ = fault;
   observe_node_ = ObserveNodeFor(fault_);
   if (frames > 0) {
@@ -218,6 +224,10 @@ void UnrolledModel::SetFault(const fault::Fault& fault, int frames) {
 
 void UnrolledModel::GrowFrames(int frames) {
   if (frames <= 0) throw std::invalid_argument("GrowFrames: frames <= 0");
+  RETEST_COUNTER_ADD("atpg.model.grow_frames", "re-arms", "atpg",
+                     "UnrolledModel unroll-depth changes", 1);
+  RETEST_DIST_RECORD("atpg.model.frames", "frames", "atpg",
+                     "unroll depth requested via GrowFrames", frames);
   EnsureCapacity(frames);
   frames_ = frames;
   Reset();

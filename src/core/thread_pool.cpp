@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "core/metrics.h"
+
 namespace retest::core {
 
 int ThreadPool::DefaultThreadCount() {
@@ -70,6 +72,14 @@ void ThreadPool::RunItems(int worker, std::unique_lock<std::mutex>& lock) {
 
 void ThreadPool::ParallelFor(std::size_t count, const Job& fn) {
   if (count == 0) return;
+  RETEST_COUNTER_ADD("core.thread_pool.parallel_fors", "loops", "core",
+                     "ParallelFor dispatches", 1);
+  RETEST_COUNTER_ADD("core.thread_pool.items", "items", "core",
+                     "work items executed by the pool",
+                     static_cast<long>(count));
+  RETEST_DIST_RECORD("core.thread_pool.queue_depth", "items", "core",
+                     "items enqueued per ParallelFor (initial queue depth)",
+                     static_cast<double>(count));
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   next_ = 0;

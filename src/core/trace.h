@@ -1,0 +1,100 @@
+// Lightweight span tracer — flame-style inspection of a full fault-sim
+// or ATPG run.
+//
+// Spans are RAII begin/end pairs recorded into per-thread buffers (one
+// uncontended mutex acquisition per completed span, no cross-thread
+// traffic on the hot path).  Nesting is implied by scope: spans on one
+// thread form a stack, so a viewer reconstructs the flame graph from
+// the (start, duration) intervals alone.  The buffers serialize to the
+// Chrome `trace_event` JSON format (complete "X" events), which loads
+// directly in `chrome://tracing` and https://ui.perfetto.dev — see
+// docs/METRICS.md for the span catalogue and loading instructions.
+//
+// Activation: tracing is OFF unless the `REPRO_TRACE=<file>` environment
+// variable is set when the process starts (or a test calls
+// EnableForTesting).  When REPRO_TRACE is set, an atexit hook writes
+// the trace file automatically, so *any* binary in this repo — bench,
+// test or example — can be traced without code changes:
+//
+//   REPRO_TRACE=atpg.trace.json ./build/bench/bench_atpg_perf --smoke
+//
+// Overhead contract: with tracing off a Span construction is one
+// predicted branch on a cached flag; instrumentation sites sit at
+// phase / batch / fault granularity so even an active trace stays well
+// under the 2% budget bench_metrics_overhead enforces.  Compiling with
+// REPRO_METRICS=OFF removes the RETEST_TRACE_SPAN sites entirely.
+//
+// Thread-safety contract: all functions may be called from any thread.
+// Span names must have static storage duration (string literals): the
+// recorder stores the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"  // for the RETEST_METRICS compile-time gate
+
+namespace retest::core::trace {
+
+/// True when span recording is active (REPRO_TRACE was set at startup,
+/// or EnableForTesting(true) was called).
+bool Enabled();
+
+/// Force-enables / disables recording regardless of the environment.
+/// Does not change the atexit output path; tests normally pair this
+/// with WriteTo / EventsForTesting and a final ResetForTesting.
+void EnableForTesting(bool enabled);
+
+/// RAII span: records [construction, destruction) on the calling
+/// thread under `name` (static storage required).  Near-free when
+/// tracing is disabled.  Prefer the RETEST_TRACE_SPAN macro, which
+/// vanishes under REPRO_METRICS=OFF.
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "retest");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  std::int64_t start_us_ = -1;  // -1: tracing was off at construction
+};
+
+/// One recorded span, for tests and custom sinks.  `tid` is a stable
+/// small integer per recording thread (attachment order, not an OS id).
+struct Event {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  std::int64_t start_us = 0;
+  std::int64_t duration_us = 0;
+  int tid = 0;
+};
+
+/// Drains every buffer (live and retired threads) and appends the
+/// events to `out`.  Events of one thread are in completion order;
+/// within a thread, spans are properly nested by construction.
+void Drain(std::vector<Event>& out);
+
+/// Drains and writes all recorded events as Chrome trace_event JSON
+/// (`{"traceEvents": [...]}`).  Returns false when the file cannot be
+/// written.  Called automatically at process exit with the REPRO_TRACE
+/// path when that variable is set.
+bool WriteTo(const std::string& path);
+
+/// Discards all recorded events (buffered and drained).
+void ResetForTesting();
+
+}  // namespace retest::core::trace
+
+#if RETEST_METRICS
+/// Statement macro: opens a trace span `var` for the enclosing scope.
+#define RETEST_TRACE_SPAN(var, name) \
+  const ::retest::core::trace::Span var(name)
+#else
+#define RETEST_TRACE_SPAN(var, name) \
+  do {                               \
+  } while (0)
+#endif

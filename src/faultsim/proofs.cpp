@@ -5,7 +5,9 @@
 #include <numeric>
 #include <optional>
 
+#include "core/metrics.h"
 #include "core/thread_pool.h"
+#include "core/trace.h"
 #include "sim/levelizer.h"
 #include "sim/parallel.h"
 
@@ -57,9 +59,15 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
                             std::span<const fault::Fault> faults,
                             const sim::InputSequence& sequence,
                             const ProofsOptions& options) {
+  RETEST_TRACE_SPAN(run_span, "faultsim.simulate");
   ProofsResult result;
   result.detections.assign(faults.size(), {});
   if (faults.empty() || sequence.empty()) return result;
+  RETEST_COUNTER_ADD("faultsim.runs", "runs", "faultsim",
+                     "SimulateProofs invocations", 1);
+  RETEST_COUNTER_ADD("faultsim.faults_simulated", "faults", "faultsim",
+                     "faults handed to SimulateProofs",
+                     static_cast<long>(faults.size()));
 
   // Good-machine responses once, shared read-only by every batch.  The
   // cone-restricted mode needs the full per-node trace (non-cone values
@@ -67,13 +75,16 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
   std::optional<sim::Trace> trace;
   std::optional<sim::WordTrace> word_trace;
   std::vector<std::vector<V3>> good_po;
-  if (options.cone_restricted) {
-    trace.emplace(circuit, sequence);
-    word_trace.emplace(*trace);
-  } else {
-    sim::Simulator good(circuit);
-    good.Reset();
-    good_po = good.Run(sequence);
+  {
+    RETEST_TRACE_SPAN(good_span, "faultsim.good_trace");
+    if (options.cone_restricted) {
+      trace.emplace(circuit, sequence);
+      word_trace.emplace(*trace);
+    } else {
+      sim::Simulator good(circuit);
+      good.Reset();
+      good_po = good.Run(sequence);
+    }
   }
   const auto& good_outputs = options.cone_restricted ? trace->outputs() : good_po;
 
@@ -90,9 +101,13 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
   std::vector<WorkerScratch> scratch(static_cast<size_t>(num_threads));
   core::ThreadPool pool(num_threads);
   pool.ParallelFor(num_batches, [&](int worker, size_t batch) {
+    RETEST_TRACE_SPAN(batch_span, "faultsim.batch");
+    RETEST_SCOPED_TIMER(batch_timer, "faultsim.batch_ms", "faultsim",
+                        "wall time of one 64-fault batch");
     WorkerScratch& ws = scratch[static_cast<size_t>(worker)];
     if (!ws.frame) ws.frame.emplace(circuit);
     sim::ParallelFrame& frame = *ws.frame;
+    const long frames_before = ws.frames_evaluated;
 
     const size_t base = batch * 64;
     const int lanes =
@@ -104,7 +119,14 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
           faults[order[base + static_cast<size_t>(lane)]], lane));
     }
     frame.SetInjections(injections);
-    if (options.cone_restricted) frame.RestrictToInjectionCones();
+    if (options.cone_restricted) {
+      frame.RestrictToInjectionCones();
+      RETEST_DIST_RECORD(
+          "faultsim.cone_activity_ratio", "ratio", "faultsim",
+          "batch activity-mask size / circuit size",
+          static_cast<double>(frame.cone_size()) /
+              static_cast<double>(std::max(1, circuit.size())));
+    }
 
     ws.state.assign(num_dffs, Word3{});  // all-X initial state
     const std::uint64_t lane_mask = lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
@@ -148,12 +170,30 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
         if (newly != 0 && options.cone_restricted) frame.DropLanes(newly);
       }
     }
+
+    const int detected_in_batch =
+        std::popcount(lane_mask & ~undetected);
+    RETEST_COUNTER_ADD("faultsim.batches", "batches", "faultsim",
+                       "64-fault batches simulated", 1);
+    RETEST_COUNTER_ADD("faultsim.frames_evaluated", "frames", "faultsim",
+                       "circuit frames evaluated across batches",
+                       ws.frames_evaluated - frames_before);
+    RETEST_COUNTER_ADD("faultsim.faults_detected", "faults", "faultsim",
+                       "faults detected by PROOFS", detected_in_batch);
+    if (options.drop_detected) {
+      RETEST_DIST_RECORD("faultsim.dropped_per_batch", "faults", "faultsim",
+                         "faults dropped (detected) per 64-fault batch",
+                         detected_in_batch);
+    }
   });
 
   for (const WorkerScratch& ws : scratch) {
     result.frames_evaluated += ws.frames_evaluated;
     if (ws.frame) result.gate_evals += ws.frame->gate_evals();
   }
+  RETEST_COUNTER_ADD("faultsim.gate_evals", "node-evals", "faultsim",
+                     "64-wide node evaluations performed",
+                     result.gate_evals);
   return result;
 }
 

@@ -17,6 +17,19 @@
 //    share cones and the union stays small.
 // Independent batches are dispatched across a thread pool
 // (ProofsOptions::num_threads / the REPRO_THREADS env override).
+//
+// Thread-safety and determinism contract (docs/ARCHITECTURE.md):
+//  - SimulateProofs is safe to call concurrently from multiple threads
+//    (it shares no mutable state between runs), and each run's workers
+//    share only the immutable good-machine trace; all per-batch
+//    scratch is worker-owned and merged by batch index.
+//  - The result is a pure function of (circuit, faults, sequence,
+//    drop_detected/cone_restricted/sort_faults): detections,
+//    frames_evaluated and gate_evals are bit-identical at any
+//    num_threads.  Tier-1 tests and the bench_faultsim_perf exit code
+//    enforce this.
+//  - Instrumentation (faultsim.* metrics, faultsim.* trace spans; see
+//    docs/METRICS.md) is observational only and never alters results.
 #pragma once
 
 #include <span>

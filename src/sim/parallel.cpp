@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/metrics.h"
+
 namespace retest::sim {
 
 using netlist::Node;
@@ -144,6 +146,11 @@ void ParallelFrame::RestrictToInjectionCones() {
     }
   }
   cone_mode_ = true;
+  RETEST_COUNTER_ADD("sim.cone_restrictions", "calls", "sim",
+                     "RestrictToInjectionCones invocations", 1);
+  RETEST_DIST_RECORD("sim.cone_size", "nodes", "sim",
+                     "activity-mask size (nodes) per restriction",
+                     cone_size_);
 }
 
 void ParallelFrame::SeedSources(std::span<const V3> inputs) {
