@@ -29,10 +29,16 @@
 //   --smoke             1 variant, quick config only (ctest budget);
 //                       exit code is the determinism verdict
 // REPRO_THREADS=N overrides the multi-worker thread count.
+//
+// Robustness (docs/ROBUSTNESS.md): a failure mid-sweep still flushes
+// the finished circuits to BENCH_atpg.json with an "error" field.
+// Exit codes: 0 ok, 1 determinism mismatch, 2 fatal before any
+// circuit, 3 partial results, 4 JSON unwritable.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <string>
 #include <thread>
@@ -151,17 +157,21 @@ void EmitRun(std::FILE* f, const char* key, const RunStats& s, bool last) {
                s.aborted, s.evaluations, s.threads_used, last ? "" : ",");
 }
 
-void EmitJson(const std::vector<CircuitReport>& reports,
+bool EmitJson(const std::vector<CircuitReport>& reports,
               const std::vector<std::pair<int, double>>& scaling,
-              int mt_threads, bool smoke) {
+              int mt_threads, bool smoke, const std::string& error) {
   std::FILE* f = std::fopen("BENCH_atpg.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_atpg.json\n");
-    return;
+    return false;
   }
   const atpg::AtpgOptions quick = QuickOptions();
   const atpg::AtpgOptions paper = PaperOptions();
   std::fprintf(f, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  if (!error.empty()) {
+    std::fprintf(f, "  \"error\": \"%s\",\n",
+                 bench::JsonEscape(error).c_str());
+  }
   std::fprintf(f, "  \"cpus\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"mt_threads\": %d,\n", mt_threads);
   std::fprintf(f,
@@ -219,7 +229,7 @@ void EmitJson(const std::vector<CircuitReport>& reports,
   // Cumulative engine metrics for every run above (docs/METRICS.md).
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
                core::metrics::ToJson(2).c_str());
-  std::fclose(f);
+  return std::fclose(f) == 0;
 }
 
 }  // namespace
@@ -247,64 +257,70 @@ int main(int argc, char** argv) {
               "q:reuseN", "reuse", "par", "t2:1t", "t2:Nt");
 
   std::vector<CircuitReport> reports;
+  std::string error;
   bool all_identical = true;
-  for (size_t v = 0; v < num_variants; ++v) {
-    const bench::Prepared prepared = bench::PrepareVariant(variants[v]);
-    for (const auto* role : {"original", "retimed"}) {
-      const netlist::Circuit& circuit = std::strcmp(role, "original") == 0
-                                            ? prepared.original
-                                            : prepared.retimed;
-      CircuitReport report;
-      report.name = circuit.name();
-      report.role = role;
-      report.num_nodes = circuit.size();
+  for (size_t v = 0; v < num_variants && error.empty(); ++v) {
+    try {
+      const bench::Prepared prepared = bench::PrepareVariant(variants[v]);
+      for (const auto* role : {"original", "retimed"}) {
+        const netlist::Circuit& circuit = std::strcmp(role, "original") == 0
+                                              ? prepared.original
+                                              : prepared.retimed;
+        CircuitReport report;
+        report.name = circuit.name();
+        report.role = role;
+        report.num_nodes = circuit.size();
 
-      // Quick pass: rebuild vs reuse vs parallel.
-      atpg::AtpgOptions quick = QuickOptions();
-      atpg::AtpgResult rebuild, reuse1, reuseN;
-      quick.num_threads = 1;
-      quick.reuse_models = false;
-      const double q_rebuild_ms =
-          TimeMs([&] { rebuild = atpg::RunAtpg(circuit, quick); }, reps);
-      quick.reuse_models = true;
-      const double q_reuse1_ms =
-          TimeMs([&] { reuse1 = atpg::RunAtpg(circuit, quick); }, reps);
-      quick.num_threads = mt_threads;
-      const double q_reuseN_ms =
-          TimeMs([&] { reuseN = atpg::RunAtpg(circuit, quick); }, reps);
-      report.num_faults = static_cast<int>(rebuild.faults.size());
-      report.quick_rebuild_1t = Summarize(rebuild, q_rebuild_ms);
-      report.quick_reuse_1t = Summarize(reuse1, q_reuse1_ms);
-      report.quick_reuse_mt = Summarize(reuseN, q_reuseN_ms);
-      report.identical =
-          SameResults(rebuild, reuse1) && SameResults(reuse1, reuseN);
+        // Quick pass: rebuild vs reuse vs parallel.
+        atpg::AtpgOptions quick = QuickOptions();
+        atpg::AtpgResult rebuild, reuse1, reuseN;
+        quick.num_threads = 1;
+        quick.reuse_models = false;
+        const double q_rebuild_ms =
+            TimeMs([&] { rebuild = atpg::RunAtpg(circuit, quick); }, reps);
+        quick.reuse_models = true;
+        const double q_reuse1_ms =
+            TimeMs([&] { reuse1 = atpg::RunAtpg(circuit, quick); }, reps);
+        quick.num_threads = mt_threads;
+        const double q_reuseN_ms =
+            TimeMs([&] { reuseN = atpg::RunAtpg(circuit, quick); }, reps);
+        report.num_faults = static_cast<int>(rebuild.faults.size());
+        report.quick_rebuild_1t = Summarize(rebuild, q_rebuild_ms);
+        report.quick_reuse_1t = Summarize(reuse1, q_reuse1_ms);
+        report.quick_reuse_mt = Summarize(reuseN, q_reuseN_ms);
+        report.identical =
+            SameResults(rebuild, reuse1) && SameResults(reuse1, reuseN);
 
-      // Table II budgets: serial vs parallel (reuse is the engine
-      // default; search cost dominates here, which the JSON records).
-      if (!smoke) {
-        atpg::AtpgOptions paper = PaperOptions();
-        atpg::AtpgResult t2_1t, t2_mt;
-        paper.num_threads = 1;
-        const double t2_1t_ms =
-            TimeMs([&] { t2_1t = atpg::RunAtpg(circuit, paper); }, 1);
-        paper.num_threads = mt_threads;
-        const double t2_mt_ms =
-            TimeMs([&] { t2_mt = atpg::RunAtpg(circuit, paper); }, 1);
-        report.table2_reuse_1t = Summarize(t2_1t, t2_1t_ms);
-        report.table2_reuse_mt = Summarize(t2_mt, t2_mt_ms);
-        report.identical = report.identical && SameResults(t2_1t, t2_mt);
+        // Table II budgets: serial vs parallel (reuse is the engine
+        // default; search cost dominates here, which the JSON records).
+        if (!smoke) {
+          atpg::AtpgOptions paper = PaperOptions();
+          atpg::AtpgResult t2_1t, t2_mt;
+          paper.num_threads = 1;
+          const double t2_1t_ms =
+              TimeMs([&] { t2_1t = atpg::RunAtpg(circuit, paper); }, 1);
+          paper.num_threads = mt_threads;
+          const double t2_mt_ms =
+              TimeMs([&] { t2_mt = atpg::RunAtpg(circuit, paper); }, 1);
+          report.table2_reuse_1t = Summarize(t2_1t, t2_1t_ms);
+          report.table2_reuse_mt = Summarize(t2_mt, t2_mt_ms);
+          report.identical = report.identical && SameResults(t2_1t, t2_mt);
+        }
+        all_identical = all_identical && report.identical;
+
+        std::printf(
+            "%-14s %-9s | %7d %6d | %9.1f %9.1f %9.1f | %5.2fx %5.2fx | "
+            "%9.1f %9.1f%s\n",
+            report.name.c_str(), role, report.num_faults, report.num_nodes,
+            q_rebuild_ms, q_reuse1_ms, q_reuseN_ms, report.ReuseSpeedup(),
+            report.ParallelSpeedup(), report.table2_reuse_1t.ms,
+            report.table2_reuse_mt.ms, report.identical ? "" : "  MISMATCH");
+        std::fflush(stdout);
+        reports.push_back(std::move(report));
       }
-      all_identical = all_identical && report.identical;
-
-      std::printf(
-          "%-14s %-9s | %7d %6d | %9.1f %9.1f %9.1f | %5.2fx %5.2fx | "
-          "%9.1f %9.1f%s\n",
-          report.name.c_str(), role, report.num_faults, report.num_nodes,
-          q_rebuild_ms, q_reuse1_ms, q_reuseN_ms, report.ReuseSpeedup(),
-          report.ParallelSpeedup(), report.table2_reuse_1t.ms,
-          report.table2_reuse_mt.ms, report.identical ? "" : "  MISMATCH");
-      std::fflush(stdout);
-      reports.push_back(std::move(report));
+    } catch (const std::exception& e) {
+      error = std::string(variants[v].fsm) + ": " + e.what();
+      std::fprintf(stderr, "bench_atpg_perf: %s\n", error.c_str());
     }
   }
 
@@ -312,26 +328,41 @@ int main(int argc, char** argv) {
   // original circuit), recorded as measured; on a single-CPU host
   // extra workers buy nothing and the numbers say so.
   std::vector<std::pair<int, double>> scaling;
-  if (!smoke && !reports.empty()) {
-    const bench::Prepared prepared = bench::PrepareVariant(variants[0]);
-    const int hw = static_cast<int>(
-        std::max(1u, std::thread::hardware_concurrency()));
-    const int max_threads = std::max(4, hw);
-    for (int threads = 1; threads <= max_threads; threads *= 2) {
-      atpg::AtpgOptions options = QuickOptions();
-      options.num_threads = threads;
-      const double ms = TimeMs(
-          [&] { (void)atpg::RunAtpg(prepared.original, options); }, reps);
-      scaling.emplace_back(threads, ms);
+  if (!smoke && !reports.empty() && error.empty()) {
+    try {
+      const bench::Prepared prepared = bench::PrepareVariant(variants[0]);
+      const int hw = static_cast<int>(
+          std::max(1u, std::thread::hardware_concurrency()));
+      const int max_threads = std::max(4, hw);
+      for (int threads = 1; threads <= max_threads; threads *= 2) {
+        atpg::AtpgOptions options = QuickOptions();
+        options.num_threads = threads;
+        const double ms = TimeMs(
+            [&] { (void)atpg::RunAtpg(prepared.original, options); }, reps);
+        scaling.emplace_back(threads, ms);
+      }
+    } catch (const std::exception& e) {
+      error = std::string("thread scaling: ") + e.what();
+      std::fprintf(stderr, "bench_atpg_perf: %s\n", error.c_str());
     }
   }
 
-  EmitJson(reports, scaling, mt_threads, smoke);
-  std::printf("wrote BENCH_atpg.json (%zu circuits)\n", reports.size());
+  const bool wrote = EmitJson(reports, scaling, mt_threads, smoke, error);
+  if (wrote) {
+    std::printf("wrote BENCH_atpg.json (%zu circuits%s)\n", reports.size(),
+                error.empty() ? "" : ", partial");
+  }
+  // Exit codes (docs/ROBUSTNESS.md): JSON write failure and partial
+  // data outrank the determinism verdict -- an incomplete report can't
+  // certify anything.
+  if (!wrote) return bench::kExitJsonWriteFailure;
+  if (!error.empty()) {
+    return reports.empty() ? bench::kExitFatal : bench::kExitPartial;
+  }
   if (!all_identical) {
     std::fprintf(stderr,
                  "DETERMINISM MISMATCH: rebuild/reuse/parallel disagree\n");
-    return 1;
+    return bench::kExitDeterminismMismatch;
   }
-  return 0;
+  return bench::kExitOk;
 }

@@ -1,5 +1,6 @@
 #include "experiments.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "fsm/benchmarks.h"
@@ -31,6 +32,47 @@ const std::vector<Variant>& Table2Variants() {
       {"scf", EncodingStyle::kOutputDominant, ScriptStyle::kDelay},
   };
   return kVariants;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CheckpointPathFor(const std::string& circuit_name) {
+  const char* dir = std::getenv("REPRO_CHECKPOINT_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  // Circuit names contain dots (e.g. "s510.jc.sd") but no separators.
+  path += circuit_name;
+  path += ".journal";
+  return path;
 }
 
 Prepared PrepareVariant(const Variant& variant) {

@@ -53,6 +53,25 @@ struct Prepared {
 
 Prepared PrepareVariant(const Variant& variant);
 
+/// Exit codes shared by the bench drivers (see docs/ROBUSTNESS.md).
+/// On 2 and 3 the driver still flushes whatever JSON it finished,
+/// with an "error" field describing the failure.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitDeterminismMismatch = 1,  ///< bench_atpg_perf cross-check failed
+  kExitFatal = 2,                ///< failure before any row completed
+  kExitPartial = 3,              ///< failure mid-run; JSON holds finished rows
+  kExitJsonWriteFailure = 4,     ///< rows computed but output file unwritable
+};
+
+/// Minimal JSON string escaping for error messages and names.
+std::string JsonEscape(const std::string& text);
+
+/// Checkpoint journal path for `circuit_name` under the
+/// REPRO_CHECKPOINT_DIR environment directory, or "" when the variable
+/// is unset (checkpointing off).
+std::string CheckpointPathFor(const std::string& circuit_name);
+
 /// True when REPRO_FULL=1 is set (longer, closer-to-paper budgets).
 bool FullMode();
 

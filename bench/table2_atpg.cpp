@@ -10,8 +10,17 @@
 // Besides the stdout table, emits BENCH_table2.json (one row per
 // circuit pair plus the cumulative engine metrics snapshot; see
 // docs/METRICS.md) into the current directory.
+//
+// Robustness (docs/ROBUSTNESS.md): a failure on one circuit pair does
+// not discard the finished rows -- the JSON is flushed with an "error"
+// field and the exit code distinguishes fatal (2), partial (3) and
+// unwritable-output (4) outcomes.  REPRO_CHECKPOINT_DIR=<dir> turns on
+// per-circuit ATPG checkpoint journals so an interrupted sweep resumes
+// instead of restarting; REPRO_DEADLINE_MS / REPRO_FAULT_TIMEOUT_MS
+// bound each ATPG call via the engine's watchdog.
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -30,18 +39,24 @@ struct Row {
   double ratio = 0;
 };
 
-void EmitJson(const std::vector<Row>& rows, double geomean_ratio,
-              long original_budget, long retimed_budget) {
+bool EmitJson(const std::vector<Row>& rows, double geomean_ratio,
+              long original_budget, long retimed_budget,
+              const std::string& error) {
   std::FILE* f = std::fopen("BENCH_table2.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_table2.json\n");
-    return;
+    return false;
   }
   std::fprintf(f,
                "{\n  \"mode\": \"%s\",\n  \"budget_original_ms\": %ld,\n"
-               "  \"budget_retimed_ms\": %ld,\n  \"rows\": [\n",
+               "  \"budget_retimed_ms\": %ld,\n",
                retest::bench::FullMode() ? "full" : "scaled", original_budget,
                retimed_budget);
+  if (!error.empty()) {
+    std::fprintf(f, "  \"error\": \"%s\",\n",
+                 retest::bench::JsonEscape(error).c_str());
+  }
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -57,7 +72,49 @@ void EmitJson(const std::vector<Row>& rows, double geomean_ratio,
   std::fprintf(f, "  ],\n  \"geomean_cpu_ratio\": %.3f,\n", geomean_ratio);
   std::fprintf(f, "  \"metrics\": %s\n}\n",
                retest::core::metrics::ToJson(2).c_str());
-  std::fclose(f);
+  return std::fclose(f) == 0;
+}
+
+/// Synthesizes, retimes and runs ATPG on one Table II variant;
+/// checkpoint journals are written per circuit when
+/// REPRO_CHECKPOINT_DIR is set.  Throws on any pipeline failure.
+Row MeasurePair(const retest::bench::Variant& variant, long original_budget,
+                long retimed_budget) {
+  using namespace retest;
+  const bench::Prepared prepared = bench::PrepareVariant(variant);
+  auto original_options = bench::Table2AtpgOptions(original_budget);
+  auto retimed_options = bench::Table2AtpgOptions(retimed_budget);
+  original_options.checkpoint_path =
+      bench::CheckpointPathFor(prepared.original.name() + ".original");
+  retimed_options.checkpoint_path =
+      bench::CheckpointPathFor(prepared.retimed.name() + ".retimed");
+  const auto original_result =
+      atpg::RunAtpg(prepared.original, original_options);
+  const auto retimed_result = atpg::RunAtpg(prepared.retimed, retimed_options);
+  if (original_result.resumed || retimed_result.resumed) {
+    std::printf("  (%s: resumed from checkpoint)\n",
+                prepared.original.name().c_str());
+  }
+  Row row;
+  row.name = prepared.original.name();
+  row.original_dffs = prepared.original.num_dffs();
+  row.retimed_dffs = prepared.retimed.num_dffs();
+  row.original_fc = original_result.FaultCoverage();
+  row.original_fe = original_result.FaultEfficiency();
+  row.retimed_fc = retimed_result.FaultCoverage();
+  row.retimed_fe = retimed_result.FaultEfficiency();
+  row.original_cpu_ms = original_result.elapsed_ms;
+  row.retimed_cpu_ms = retimed_result.elapsed_ms;
+  row.ratio = original_result.elapsed_ms > 0
+                  ? static_cast<double>(retimed_result.elapsed_ms) /
+                        static_cast<double>(original_result.elapsed_ms)
+                  : 0.0;
+  std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
+              row.name.c_str(), row.original_dffs, row.original_fc,
+              row.original_fe, row.original_cpu_ms, row.retimed_dffs,
+              row.retimed_fc, row.retimed_fe, row.retimed_cpu_ms, row.ratio);
+  std::fflush(stdout);
+  return row;
 }
 
 }  // namespace
@@ -76,41 +133,33 @@ int main() {
               "CPU Ratio");
 
   std::vector<Row> rows;
+  std::string error;
   double ratio_product = 1.0;
   for (const auto& variant : bench::Table2Variants()) {
-    const bench::Prepared prepared = bench::PrepareVariant(variant);
-    const auto original_result = atpg::RunAtpg(
-        prepared.original, bench::Table2AtpgOptions(original_budget));
-    const auto retimed_result = atpg::RunAtpg(
-        prepared.retimed, bench::Table2AtpgOptions(retimed_budget));
-    Row row;
-    row.name = prepared.original.name();
-    row.original_dffs = prepared.original.num_dffs();
-    row.retimed_dffs = prepared.retimed.num_dffs();
-    row.original_fc = original_result.FaultCoverage();
-    row.original_fe = original_result.FaultEfficiency();
-    row.retimed_fc = retimed_result.FaultCoverage();
-    row.retimed_fe = retimed_result.FaultEfficiency();
-    row.original_cpu_ms = original_result.elapsed_ms;
-    row.retimed_cpu_ms = retimed_result.elapsed_ms;
-    row.ratio = original_result.elapsed_ms > 0
-                    ? static_cast<double>(retimed_result.elapsed_ms) /
-                          static_cast<double>(original_result.elapsed_ms)
-                    : 0.0;
-    ratio_product *= row.ratio > 0 ? row.ratio : 1.0;
-    std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
-                row.name.c_str(), row.original_dffs, row.original_fc,
-                row.original_fe, row.original_cpu_ms, row.retimed_dffs,
-                row.retimed_fc, row.retimed_fe, row.retimed_cpu_ms, row.ratio);
-    std::fflush(stdout);
-    rows.push_back(std::move(row));
+    try {
+      const Row row = MeasurePair(variant, original_budget, retimed_budget);
+      ratio_product *= row.ratio > 0 ? row.ratio : 1.0;
+      rows.push_back(row);
+    } catch (const std::exception& e) {
+      error = std::string(variant.fsm) + ": " + e.what();
+      std::fprintf(stderr, "table2: %s\n", error.c_str());
+      break;
+    }
   }
   double geomean = 0;
   if (!rows.empty()) {
     geomean = std::pow(ratio_product, 1.0 / static_cast<double>(rows.size()));
     std::printf("\ngeometric-mean CPU ratio: %.1fx\n", geomean);
   }
-  EmitJson(rows, geomean, original_budget, retimed_budget);
-  std::printf("wrote BENCH_table2.json (%zu rows)\n", rows.size());
-  return 0;
+  const bool wrote =
+      EmitJson(rows, geomean, original_budget, retimed_budget, error);
+  if (wrote) {
+    std::printf("wrote BENCH_table2.json (%zu rows%s)\n", rows.size(),
+                error.empty() ? "" : ", partial");
+  }
+  if (!wrote) return bench::kExitJsonWriteFailure;
+  if (!error.empty()) {
+    return rows.empty() ? bench::kExitFatal : bench::kExitPartial;
+  }
+  return bench::kExitOk;
 }

@@ -12,7 +12,14 @@
 // Besides the stdout table, emits BENCH_table3.json (one row per
 // circuit pair plus the cumulative engine metrics snapshot; see
 // docs/METRICS.md) into the current directory.
+//
+// Robustness (docs/ROBUSTNESS.md): a failure on one circuit pair
+// flushes the finished rows with an "error" field; exit codes are
+// 0 ok, 2 fatal-before-rows, 3 partial, 4 output unwritable.
+// REPRO_CHECKPOINT_DIR enables per-circuit ATPG checkpoint journals
+// for the test-set generation step.
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -33,16 +40,20 @@ struct Row {
   int prefix = 0;
 };
 
-void EmitJson(const std::vector<Row>& rows, long budget) {
+bool EmitJson(const std::vector<Row>& rows, long budget,
+              const std::string& error) {
   std::FILE* f = std::fopen("BENCH_table3.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_table3.json\n");
-    return;
+    return false;
   }
-  std::fprintf(f,
-               "{\n  \"mode\": \"%s\",\n  \"atpg_budget_ms\": %ld,\n"
-               "  \"rows\": [\n",
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"atpg_budget_ms\": %ld,\n",
                retest::bench::FullMode() ? "full" : "scaled", budget);
+  if (!error.empty()) {
+    std::fprintf(f, "  \"error\": \"%s\",\n",
+                 retest::bench::JsonEscape(error).c_str());
+  }
+  std::fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -56,7 +67,58 @@ void EmitJson(const std::vector<Row>& rows, long budget) {
   }
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
                retest::core::metrics::ToJson(2).c_str());
-  std::fclose(f);
+  return std::fclose(f) == 0;
+}
+
+/// Generates the original test set, derives the retimed one
+/// (Theorem 4) and fault-simulates both.  Throws on any pipeline
+/// failure; checkpoint journals cover the ATPG step when
+/// REPRO_CHECKPOINT_DIR is set.
+Row MeasurePair(const retest::bench::Variant& variant, long budget) {
+  using namespace retest;
+  const bench::Prepared prepared = bench::PrepareVariant(variant);
+
+  // Generate the original circuit's test set.
+  auto atpg_options = bench::TestSetAtpgOptions(budget);
+  atpg_options.checkpoint_path =
+      bench::CheckpointPathFor(prepared.original.name() + ".testset");
+  const auto atpg_result = atpg::RunAtpg(prepared.original, atpg_options);
+  core::TestSet test_set;
+  test_set.tests = atpg_result.tests;
+
+  // Derive the retimed circuit's test set (Theorem 4).
+  const int prefix =
+      core::PrefixLength(prepared.build.graph, prepared.retiming);
+  const core::TestSet derived = core::DeriveRetimedTestSet(
+      test_set, prefix, prepared.original.num_inputs());
+
+  // Fault simulate both.
+  const auto original_faults = fault::Collapse(prepared.original);
+  const auto retimed_faults = fault::Collapse(prepared.retimed);
+  const auto original_sim = faultsim::SimulateProofs(
+      prepared.original, original_faults.representatives,
+      test_set.Concatenated());
+  const auto retimed_sim = faultsim::SimulateProofs(
+      prepared.retimed, retimed_faults.representatives,
+      derived.Concatenated());
+
+  Row row;
+  row.name = prepared.original.name();
+  row.original_faults =
+      static_cast<int>(original_faults.representatives.size());
+  row.retimed_faults =
+      static_cast<int>(retimed_faults.representatives.size());
+  row.original_undetected = row.original_faults - original_sim.num_detected();
+  row.retimed_undetected = row.retimed_faults - retimed_sim.num_detected();
+  row.original_fc = 100.0 * original_sim.num_detected() / row.original_faults;
+  row.retimed_fc = 100.0 * retimed_sim.num_detected() / row.retimed_faults;
+  row.prefix = prefix;
+  std::printf("%-12s | %7d %7d %6.1f | %7d %7d %6.1f | %6d\n",
+              row.name.c_str(), row.original_faults, row.original_undetected,
+              row.original_fc, row.retimed_faults, row.retimed_undetected,
+              row.retimed_fc, row.prefix);
+  std::fflush(stdout);
+  return row;
 }
 
 }  // namespace
@@ -73,52 +135,24 @@ int main() {
               "Prefix");
 
   std::vector<Row> rows;
+  std::string error;
   for (const auto& variant : bench::Table2Variants()) {
-    const bench::Prepared prepared = bench::PrepareVariant(variant);
-
-    // Generate the original circuit's test set.
-    const auto atpg_result =
-        atpg::RunAtpg(prepared.original, bench::TestSetAtpgOptions(budget));
-    core::TestSet test_set;
-    test_set.tests = atpg_result.tests;
-
-    // Derive the retimed circuit's test set (Theorem 4).
-    const int prefix =
-        core::PrefixLength(prepared.build.graph, prepared.retiming);
-    const core::TestSet derived = core::DeriveRetimedTestSet(
-        test_set, prefix, prepared.original.num_inputs());
-
-    // Fault simulate both.
-    const auto original_faults = fault::Collapse(prepared.original);
-    const auto retimed_faults = fault::Collapse(prepared.retimed);
-    const auto original_sim = faultsim::SimulateProofs(
-        prepared.original, original_faults.representatives,
-        test_set.Concatenated());
-    const auto retimed_sim = faultsim::SimulateProofs(
-        prepared.retimed, retimed_faults.representatives,
-        derived.Concatenated());
-
-    Row row;
-    row.name = prepared.original.name();
-    row.original_faults =
-        static_cast<int>(original_faults.representatives.size());
-    row.retimed_faults =
-        static_cast<int>(retimed_faults.representatives.size());
-    row.original_undetected =
-        row.original_faults - original_sim.num_detected();
-    row.retimed_undetected = row.retimed_faults - retimed_sim.num_detected();
-    row.original_fc =
-        100.0 * original_sim.num_detected() / row.original_faults;
-    row.retimed_fc = 100.0 * retimed_sim.num_detected() / row.retimed_faults;
-    row.prefix = prefix;
-    std::printf("%-12s | %7d %7d %6.1f | %7d %7d %6.1f | %6d\n",
-                row.name.c_str(), row.original_faults, row.original_undetected,
-                row.original_fc, row.retimed_faults, row.retimed_undetected,
-                row.retimed_fc, row.prefix);
-    std::fflush(stdout);
-    rows.push_back(std::move(row));
+    try {
+      rows.push_back(MeasurePair(variant, budget));
+    } catch (const std::exception& e) {
+      error = std::string(variant.fsm) + ": " + e.what();
+      std::fprintf(stderr, "table3: %s\n", error.c_str());
+      break;
+    }
   }
-  EmitJson(rows, budget);
-  std::printf("wrote BENCH_table3.json (%zu rows)\n", rows.size());
-  return 0;
+  const bool wrote = EmitJson(rows, budget, error);
+  if (wrote) {
+    std::printf("wrote BENCH_table3.json (%zu rows%s)\n", rows.size(),
+                error.empty() ? "" : ", partial");
+  }
+  if (!wrote) return bench::kExitJsonWriteFailure;
+  if (!error.empty()) {
+    return rows.empty() ? bench::kExitFatal : bench::kExitPartial;
+  }
+  return bench::kExitOk;
 }

@@ -1,0 +1,78 @@
+// Fuzz target for the ingestion pipeline: .bench parsing, structural
+// checking, one simulation step, and the write/re-parse round trip.
+//
+// The harness feeds arbitrary bytes through the *total* parser
+// (netlist/bench_io).  The oracle is the robustness contract of the
+// ingestion layer, not any particular output:
+//
+//   1. ParseBenchString never throws, crashes, or trips a sanitizer on
+//      any input (totality);
+//   2. it never emits a StatusCode::kInternal diagnostic (that code is
+//      reserved for invariant violations -- always a bug);
+//   3. a parser-accepted circuit always passes netlist::Check (the
+//      parser's own validation implies structural validity);
+//   4. an accepted circuit survives one 3-valued simulation step; and
+//   5. WriteBenchString(circuit) re-parses successfully to a circuit
+//      with identical input/output/DFF/gate counts (round trip).
+//
+// Violations call __builtin_trap() so both libFuzzer and the plain
+// replay driver report them as crashes.  Inputs are capped at 16 KiB:
+// the fixpoint placement in the bench reader is quadratic in
+// pathological orderings, and the fuzzer finds timeouts (not bugs)
+// beyond that -- the cap is a documented harness limit, not a parser
+// one.  Build the libFuzzer binary with -DREPRO_FUZZ=ON (requires
+// Clang); the fuzz_bench_replay driver (standalone_main.cpp) replays
+// corpus/ and regressions/ under any compiler and backs the
+// fuzz_corpus_replay ctest.  See docs/ROBUSTNESS.md.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "netlist/bench_io.h"
+#include "netlist/check.h"
+#include "sim/simulator.h"
+
+namespace {
+
+constexpr std::size_t kMaxInputBytes = 16 * 1024;
+
+void FuzzOne(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const retest::netlist::BenchParseResult parsed =
+      retest::netlist::ParseBenchString(text, "fuzz", "fuzz");
+  if (parsed.diagnostics.Contains(retest::core::StatusCode::kInternal)) {
+    __builtin_trap();  // oracle 2: internal errors are always bugs
+  }
+  if (!parsed.ok()) return;
+  const retest::netlist::Circuit& circuit = *parsed.circuit;
+
+  if (!retest::netlist::Check(circuit).ok()) {
+    __builtin_trap();  // oracle 3: accepted implies structurally valid
+  }
+
+  retest::sim::Simulator simulator(circuit);
+  const std::vector<retest::sim::V3> zeros(
+      static_cast<std::size_t>(circuit.num_inputs()), retest::sim::V3::k0);
+  (void)simulator.Step(zeros);  // oracle 4: one step must not crash
+
+  const std::string written = retest::netlist::WriteBenchString(circuit);
+  const retest::netlist::BenchParseResult again =
+      retest::netlist::ParseBenchString(written, "fuzz2", "fuzz2");
+  if (!again.ok() ||
+      again.circuit->num_inputs() != circuit.num_inputs() ||
+      again.circuit->num_outputs() != circuit.num_outputs() ||
+      again.circuit->num_dffs() != circuit.num_dffs() ||
+      again.circuit->num_gates() != circuit.num_gates()) {
+    __builtin_trap();  // oracle 5: write/re-parse round trip
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Compiler-agnostic replay driver for the fuzz targets.
+//
+// libFuzzer needs Clang; this container and some CI legs only have
+// GCC.  This driver links the same LLVMFuzzerTestOneInput and replays
+// files or directories of inputs through it, so:
+//   - the checked-in corpus/ and regressions/ run as a regular ctest
+//     (fuzz_corpus_replay) under every compiler and sanitizer config;
+//   - a crash artifact downloaded from a CI fuzz run reproduces
+//     locally without a Clang toolchain.
+//
+// Usage: fuzz_bench_replay <file-or-directory>...
+// Exit codes: 0 = every input replayed cleanly; 2 = usage/IO error.
+// An oracle violation traps (SIGILL/SIGTRAP), exactly like the fuzzer.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz replay: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::fprintf(stderr, "fuzz replay: %s (%zu bytes)\n", path.c_str(),
+               data.size());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(data.data()),
+                         data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input-file-or-directory>...\n"
+                 "Replays inputs through the fuzz oracle; a violation "
+                 "traps.\n",
+                 argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> entries;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) entries.push_back(entry.path());
+      }
+      std::sort(entries.begin(), entries.end());
+      for (const auto& entry : entries) {
+        if (const int rc = ReplayFile(entry); rc != 0) return rc;
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      if (const int rc = ReplayFile(path); rc != 0) return rc;
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "fuzz replay: no such input: %s\n", path.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "fuzz replay: %d input(s) replayed cleanly\n",
+               replayed);
+  return 0;
+}

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "fault/collapse.h"
 #include "fault/fault.h"
 #include "sim/simulator.h"
@@ -73,6 +75,21 @@ struct AtpgOptions {
   /// produces identical results; exists as an ablation knob for
   /// bench_atpg_perf to measure the reconstruction cost.
   bool reuse_models = true;
+  /// Crash-safe checkpoint journal (atpg/journal).  Empty = disabled.
+  /// When set, every random-phase test and every deterministic commit
+  /// is appended (CRC-guarded, flushed at the commit frontier); a
+  /// matching journal found at the path on startup is replayed, so a
+  /// killed run resumes from its last committed fault and still lands
+  /// on the bit-identical result of an uninterrupted run, at any
+  /// thread count.
+  std::string checkpoint_path;
+  /// Watchdog budgets (core/watchdog): whole-run deadline and
+  /// per-fault search timeout, both in milliseconds, 0 = take the
+  /// REPRO_DEADLINE_MS / REPRO_FAULT_TIMEOUT_MS env vars (which are in
+  /// turn 0 = disabled).  Overruns convert cleanly to kUntried commits
+  /// (resumable); they never corrupt committed results.
+  long deadline_ms = 0;
+  long fault_timeout_ms = 0;
 };
 
 /// Per-fault outcome.
@@ -94,6 +111,18 @@ struct AtpgResult {
   long evaluations = 0;  ///< Deterministic work measure.
   long elapsed_ms = 0;   ///< Wall clock (#CPU column analogue).
   int threads_used = 1;  ///< Deterministic-phase workers actually used.
+  /// True when the wall-clock budget / deadline cut the run short
+  /// (some faults committed kUntried without being searched).
+  bool preempted = false;
+  /// True when a checkpoint journal was replayed into this run.
+  bool resumed = false;
+  /// Per-fault watchdog timeouts that converted searches to kUntried.
+  long watchdog_preemptions = 0;
+  /// Non-fatal events of this run: checkpoint corruption/mismatch
+  /// notes, journal I/O errors, deadline notices.  Never contains
+  /// errors about the circuit itself (RunAtpg assumes a checked
+  /// circuit).
+  core::DiagnosticList diagnostics;
 
   int Count(FaultStatus wanted) const;
   /// %FC: detected / total.

@@ -19,7 +19,9 @@ struct Budget {
   const JustifyOptions* options;
   bool Exhausted() const {
     return backtracks > options->max_backtracks ||
-           evaluations > options->max_evaluations;
+           evaluations > options->max_evaluations ||
+           (options->stop != nullptr &&
+            options->stop->load(std::memory_order_relaxed));
   }
 };
 

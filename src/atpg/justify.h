@@ -15,6 +15,7 @@
 // ratios measure.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -30,6 +31,9 @@ struct JustifyOptions {
   int max_depth = 24;          ///< Frames of backward recursion.
   long max_backtracks = 4000;  ///< Total decision flips across the search.
   long max_evaluations = 20'000'000;
+  /// Cooperative preemption: when set and it becomes true, the search
+  /// aborts at the next budget check (watchdog / deadline stops).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 enum class JustifyStatus {

@@ -8,6 +8,7 @@
 #include <span>
 #include <utility>
 
+#include "atpg/journal.h"
 #include "atpg/justify.h"
 #include "atpg/podem.h"
 #include "atpg/rng.h"
@@ -15,6 +16,7 @@
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "core/trace.h"
+#include "core/watchdog.h"
 #include "faultsim/proofs.h"
 
 namespace retest::atpg {
@@ -50,7 +52,7 @@ class Driver {
  public:
   Driver(const netlist::Circuit& circuit, const AtpgOptions& options,
          const std::vector<std::size_t>& remaining, long budget_ms,
-         AtpgResult& result)
+         AtpgResult& result, const DetPhaseControl* control)
       : circuit_(circuit),
         options_(options),
         queue_(remaining),
@@ -63,21 +65,39 @@ class Driver {
     if (max_frames_ <= 0) {
       max_frames_ = std::clamp(4 * circuit.num_dffs() + 8, 8, 64);
     }
+    if (control != nullptr) {
+      journal_ = control->journal;
+      fault_timeout_ms_ = control->fault_timeout_ms;
+      frontier_ = std::min(control->resume_frontier, queue_.size());
+      for (std::size_t pos = 0;
+           pos < control->resume_retired.size() && pos < queue_.size();
+           ++pos) {
+        retired_[pos] = control->resume_retired[pos];
+      }
+    }
   }
 
   void Run() {
-    if (queue_.empty()) return;
+    const std::size_t base = frontier_;
+    if (base >= queue_.size()) return;  // journal replay covered everything
     RETEST_TRACE_SPAN(phase_span, "atpg.deterministic_phase");
     RETEST_COUNTER_ADD("atpg.det.faults_dispatched", "faults", "atpg",
                        "faults entering the deterministic phase",
-                       static_cast<long>(queue_.size()));
+                       static_cast<long>(queue_.size() - base));
     const int threads = std::max(
         1, std::min<int>(core::ResolveThreadCount(options_.num_threads),
-                         static_cast<int>(queue_.size())));
+                         static_cast<int>(queue_.size() - base)));
     result_.threads_used = threads;
     std::vector<WorkerModels> models(static_cast<std::size_t>(threads));
+    std::optional<core::Watchdog> watchdog;
+    if (fault_timeout_ms_ > 0) {
+      core::WatchdogLimits limits;
+      limits.fault_timeout_ms = fault_timeout_ms_;
+      watchdog.emplace(limits, threads, &stop_);
+    }
     core::ThreadPool pool(threads);
-    pool.ParallelFor(queue_.size(), [&](int worker, std::size_t item) {
+    pool.ParallelFor(queue_.size() - base, [&](int worker, std::size_t i) {
+      const std::size_t item = base + i;
       bool claimed_retired;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -99,12 +119,24 @@ class Driver {
         RETEST_TRACE_SPAN(search_span, "atpg.fault_search");
         RETEST_SCOPED_TIMER(search_timer, "atpg.fault_search_ms", "atpg",
                             "wall time of one fault's deterministic search");
+        const std::atomic<bool>* stop_flag = &stop_;
+        if (watchdog) {
+          watchdog->BeginItem(worker);
+          stop_flag = watchdog->StopFlag(worker);
+        }
         outcome = Search(result_.faults[queue_[item]],
                          FaultSeed(options_.seed, queue_[item]),
-                         models[static_cast<std::size_t>(worker)]);
+                         models[static_cast<std::size_t>(worker)], stop_flag);
+        if (watchdog && watchdog->EndItem(worker)) {
+          // Per-fault timeout: discard the partial search entirely so
+          // the commit is a clean, re-searchable kUntried.
+          outcome = FaultOutcome{};
+        }
       }
       Park(item, std::move(outcome));
     });
+    if (stop_.load(std::memory_order_relaxed)) result_.preempted = true;
+    if (watchdog) result_.watchdog_preemptions += watchdog->preemptions();
   }
 
  private:
@@ -133,8 +165,11 @@ class Driver {
   /// Pure per-fault search: depends only on (circuit, fault, seed) and
   /// the option limits.  Budget preemption reports kUntried so a
   /// half-searched fault is never committed as a genuine abort.
+  /// `stop` is this worker's cooperative-preemption flag: the shared
+  /// budget flag, or a watchdog per-worker flag that additionally
+  /// fires on the per-fault timeout.
   FaultOutcome Search(const fault::Fault& fault, std::uint64_t seed,
-                      WorkerModels& models) {
+                      WorkerModels& models, const std::atomic<bool>* stop) {
     FaultOutcome out;
     Rng rng{seed};
     out.status = FaultStatus::kAborted;
@@ -150,7 +185,7 @@ class Driver {
       PodemOptions podem_options;
       podem_options.max_backtracks = options_.backtracks_per_fault * 8;
       podem_options.max_evaluations = options_.evaluations_per_fault;
-      podem_options.stop = &stop_;
+      podem_options.stop = stop;
       const PodemResult proof = RunPodem(*models.redundancy, podem_options);
       out.evaluations += proof.evaluations;
       if (proof.status == PodemStatus::kExhausted) {
@@ -161,7 +196,7 @@ class Driver {
 
     const bool free_state = options_.style == AtpgStyle::kJustification;
     for (int frames = 1; frames <= max_frames_; frames *= 2) {
-      if (OutOfTime()) {
+      if (OutOfTime() || stop->load(std::memory_order_relaxed)) {
         out.status = FaultStatus::kUntried;
         return out;
       }
@@ -176,10 +211,10 @@ class Driver {
       PodemOptions podem_options;
       podem_options.max_backtracks = options_.backtracks_per_fault;
       podem_options.max_evaluations = options_.evaluations_per_fault;
-      podem_options.stop = &stop_;
+      podem_options.stop = stop;
       const PodemResult search = RunPodem(model, podem_options);
       out.evaluations += search.evaluations;
-      if (stop_.load(std::memory_order_relaxed)) {
+      if (stop->load(std::memory_order_relaxed)) {
         out.status = FaultStatus::kUntried;  // stop-induced abort
         return out;
       }
@@ -198,6 +233,7 @@ class Driver {
       JustifyOptions justify_options;
       justify_options.max_depth = options_.justify_max_depth;
       justify_options.max_backtracks = options_.justify_backtracks;
+      justify_options.stop = stop;
       const JustifyResult justified = JustifyState(
           circuit_, model.StateAssignments(), justify_options, fault);
       out.evaluations += justified.evaluations;
@@ -236,14 +272,23 @@ class Driver {
   }
 
   /// Parks a speculative result and advances the commit frontier over
-  /// every contiguous ready outcome.
+  /// every contiguous ready outcome.  Each frontier advance is a
+  /// consistency point: the journal (when enabled) is flushed here, so
+  /// a crash never loses a committed fault.
   void Park(std::size_t item, FaultOutcome outcome) {
     std::lock_guard<std::mutex> lock(mutex_);
     outcomes_[item] = std::move(outcome);
     outcomes_[item].ready = true;
+    const std::size_t before = frontier_;
     while (frontier_ < queue_.size() && outcomes_[frontier_].ready) {
       Commit(frontier_);
       ++frontier_;
+    }
+    if (journal_ != nullptr && frontier_ > before) {
+      journal_->Flush();
+      RETEST_COUNTER_ADD("atpg.checkpoint.flushes", "flushes", "atpg",
+                         "checkpoint journal flushes at the commit frontier",
+                         1);
     }
   }
 
@@ -259,45 +304,77 @@ class Driver {
                          "an earlier test already retired the fault",
                          1);
       outcome.test.clear();
+      if (journal_ != nullptr) {
+        JournalCommit record;
+        record.pos = pos;
+        record.status = 'S';
+        journal_->WriteCommit(record);
+      }
       return;
     }
     const std::size_t fault_index = queue_[pos];
     result_.status[fault_index] = outcome.status;
     result_.evaluations += outcome.evaluations;
-    if (outcome.status != FaultStatus::kDetected) return;
-
-    // The generated sequence usually catches more faults: retire them
-    // from the live pending universe beyond the frontier.
-    std::vector<fault::Fault> targets;
-    std::vector<std::size_t> positions;
-    targets.reserve(queue_.size() - pos);
-    for (std::size_t j = pos + 1; j < queue_.size(); ++j) {
-      if (retired_[j]) continue;
-      targets.push_back(result_.faults[queue_[j]]);
-      positions.push_back(j);
-    }
-    if (!targets.empty()) {
-      faultsim::ProofsOptions proofs;
-      proofs.num_threads = 1;  // workers already saturate the pool
-      const auto sim =
-          faultsim::SimulateProofs(circuit_, targets, outcome.test, proofs);
-      result_.evaluations += sim.frames_evaluated *
-                             static_cast<long>(circuit_.size());
-      long cross_retired = 0;
-      for (std::size_t k = 0; k < positions.size(); ++k) {
-        if (!sim.detections[k].detected) continue;
-        retired_[positions[k]] = 1;
-        result_.status[queue_[positions[k]]] = FaultStatus::kDetected;
-        ++cross_retired;
+    long committed_evaluations = outcome.evaluations;
+    std::vector<std::size_t> cross;
+    if (outcome.status == FaultStatus::kDetected) {
+      // The generated sequence usually catches more faults: retire
+      // them from the live pending universe beyond the frontier.
+      std::vector<fault::Fault> targets;
+      std::vector<std::size_t> positions;
+      targets.reserve(queue_.size() - pos);
+      for (std::size_t j = pos + 1; j < queue_.size(); ++j) {
+        if (retired_[j]) continue;
+        targets.push_back(result_.faults[queue_[j]]);
+        positions.push_back(j);
       }
-      RETEST_COUNTER_ADD("atpg.det.faults_cross_retired", "faults", "atpg",
-                         "pending faults retired by another fault's "
-                         "committed test",
-                         cross_retired);
+      if (!targets.empty()) {
+        faultsim::ProofsOptions proofs;
+        proofs.num_threads = 1;  // workers already saturate the pool
+        const auto sim =
+            faultsim::SimulateProofs(circuit_, targets, outcome.test, proofs);
+        const long sim_evaluations =
+            sim.frames_evaluated * static_cast<long>(circuit_.size());
+        result_.evaluations += sim_evaluations;
+        committed_evaluations += sim_evaluations;
+        for (std::size_t k = 0; k < positions.size(); ++k) {
+          if (!sim.detections[k].detected) continue;
+          retired_[positions[k]] = 1;
+          result_.status[queue_[positions[k]]] = FaultStatus::kDetected;
+          cross.push_back(positions[k]);
+        }
+        RETEST_COUNTER_ADD("atpg.det.faults_cross_retired", "faults", "atpg",
+                           "pending faults retired by another fault's "
+                           "committed test",
+                           static_cast<long>(cross.size()));
+      }
+      RETEST_COUNTER_ADD("atpg.det.tests_committed", "tests", "atpg",
+                         "tests committed by the deterministic phase", 1);
     }
-    RETEST_COUNTER_ADD("atpg.det.tests_committed", "tests", "atpg",
-                       "tests committed by the deterministic phase", 1);
-    result_.tests.push_back(std::move(outcome.test));
+    if (journal_ != nullptr) {
+      JournalCommit record;
+      record.pos = pos;
+      record.status = StatusChar(outcome.status);
+      record.evaluations = committed_evaluations;
+      record.cross_retired = cross;
+      if (outcome.status == FaultStatus::kDetected) {
+        record.test = outcome.test;
+      }
+      journal_->WriteCommit(record);
+    }
+    if (outcome.status == FaultStatus::kDetected) {
+      result_.tests.push_back(std::move(outcome.test));
+    }
+  }
+
+  static char StatusChar(FaultStatus status) {
+    switch (status) {
+      case FaultStatus::kDetected: return 'D';
+      case FaultStatus::kRedundant: return 'R';
+      case FaultStatus::kAborted: return 'A';
+      case FaultStatus::kUntried: return 'U';
+    }
+    return 'U';
   }
 
   const netlist::Circuit& circuit_;
@@ -307,6 +384,8 @@ class Driver {
   AtpgResult& result_;
   const std::chrono::steady_clock::time_point start_;
   int max_frames_ = 0;
+  JournalWriter* journal_ = nullptr;
+  long fault_timeout_ms_ = 0;
 
   std::atomic<bool> stop_{false};
   std::mutex mutex_;               // guards retired_/outcomes_/frontier_
@@ -320,9 +399,9 @@ class Driver {
 void RunDeterministicPhase(const netlist::Circuit& circuit,
                            const AtpgOptions& options,
                            const std::vector<std::size_t>& remaining,
-                           long elapsed_ms, AtpgResult& result) {
-  Driver driver(circuit, options, remaining,
-                options.time_budget_ms - elapsed_ms, result);
+                           long budget_ms, AtpgResult& result,
+                           const DetPhaseControl* control) {
+  Driver driver(circuit, options, remaining, budget_ms, result, control);
   driver.Run();
 }
 

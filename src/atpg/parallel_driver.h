@@ -36,14 +36,40 @@
 
 namespace retest::atpg {
 
+class JournalWriter;
+
+/// Resilience hooks for the deterministic phase (all optional; the
+/// default-constructed value reproduces the plain phase exactly).
+struct DetPhaseControl {
+  /// Commit frontier restored from a checkpoint journal: queue
+  /// positions below it are already committed into `result` and are
+  /// not dispatched again.
+  std::size_t resume_frontier = 0;
+  /// Restored retirement map by queue position (empty = none retired).
+  /// Positions >= resume_frontier marked here were cross-retired by a
+  /// replayed test; the driver commits them as discards, exactly as
+  /// the original run would have.
+  std::vector<char> resume_retired;
+  /// When set, every commit is appended as a journal record and the
+  /// journal is flushed each time the frontier advances (not owned).
+  JournalWriter* journal = nullptr;
+  /// Per-fault search timeout (ms, 0 = off): a core::Watchdog monitor
+  /// preempts overrunning searches; the fault commits as a clean
+  /// kUntried with zero evaluations, and the run continues.
+  long fault_timeout_ms = 0;
+};
+
 /// Runs the deterministic phase of RunAtpg over `remaining` (indices
 /// into result.faults that the random phase left undetected), updating
-/// result.status / tests / evaluations / threads_used in place.
-/// `elapsed_ms` is the wall clock RunAtpg already consumed; the phase
-/// honours the remainder of options.time_budget_ms.
+/// result.status / tests / evaluations / threads_used / preempted /
+/// watchdog_preemptions in place.  `budget_ms` is the wall clock the
+/// phase may spend (the caller already subtracted what the random
+/// phase consumed).  `control` adds checkpoint/watchdog behaviour; a
+/// null control is the plain phase.
 void RunDeterministicPhase(const netlist::Circuit& circuit,
                            const AtpgOptions& options,
                            const std::vector<std::size_t>& remaining,
-                           long elapsed_ms, AtpgResult& result);
+                           long budget_ms, AtpgResult& result,
+                           const DetPhaseControl* control = nullptr);
 
 }  // namespace retest::atpg

@@ -1,0 +1,32 @@
+#include "core/crc32.h"
+
+#include <array>
+
+namespace retest::core {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace retest::core

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the
+// integrity guard on every ATPG checkpoint-journal record
+// (atpg/journal) and on any other on-disk artifact that must detect
+// truncation or bit rot before being trusted.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace retest::core {
+
+/// CRC-32 of `data`.  `seed` chains computations: Crc32(b, Crc32(a))
+/// == Crc32(a + b).  Matches zlib's crc32() for seed 0.
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace retest::core

@@ -1,0 +1,136 @@
+#include "core/watchdog.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/metrics.h"
+
+namespace retest::core {
+namespace {
+
+long EnvMs(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed <= 0) return 0;
+  return parsed;
+}
+
+}  // namespace
+
+WatchdogLimits WatchdogLimits::FromEnv() {
+  WatchdogLimits limits;
+  limits.deadline_ms = EnvMs("REPRO_DEADLINE_MS");
+  limits.fault_timeout_ms = EnvMs("REPRO_FAULT_TIMEOUT_MS");
+  return limits;
+}
+
+WatchdogLimits WatchdogLimits::Resolve(const WatchdogLimits& explicit_limits) {
+  const WatchdogLimits env = FromEnv();
+  WatchdogLimits limits;
+  limits.deadline_ms = explicit_limits.deadline_ms > 0
+                           ? explicit_limits.deadline_ms
+                           : env.deadline_ms;
+  limits.fault_timeout_ms = explicit_limits.fault_timeout_ms > 0
+                                ? explicit_limits.fault_timeout_ms
+                                : env.fault_timeout_ms;
+  return limits;
+}
+
+Watchdog::Watchdog(const WatchdogLimits& limits, int num_workers,
+                   std::atomic<bool>* global_stop)
+    : limits_(limits),
+      global_stop_(global_stop),
+      epoch_(std::chrono::steady_clock::now()) {
+  slots_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+std::int64_t Watchdog::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Watchdog::BeginItem(int worker) {
+  WorkerSlot& slot = *slots_[static_cast<std::size_t>(worker)];
+  slot.timed_out.store(false, std::memory_order_relaxed);
+  slot.stop.store(global_stop_->load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  // Publish the start time last: the monitor treats started_ns != 0 as
+  // "armed", so the flag/timeout fields above must already be reset.
+  slot.started_ns.store(std::max<std::int64_t>(1, NowNs()),
+                        std::memory_order_release);
+}
+
+bool Watchdog::EndItem(int worker) {
+  WorkerSlot& slot = *slots_[static_cast<std::size_t>(worker)];
+  slot.started_ns.store(0, std::memory_order_release);
+  return slot.timed_out.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* Watchdog::StopFlag(int worker) const {
+  return &slots_[static_cast<std::size_t>(worker)]->stop;
+}
+
+void Watchdog::MonitorLoop() {
+  // Poll granularity: fine enough to make small per-fault timeouts
+  // meaningful, coarse enough to stay invisible in profiles.
+  const auto poll = std::chrono::milliseconds(
+      limits_.fault_timeout_ms > 0
+          ? std::clamp<long>(limits_.fault_timeout_ms / 4, 1, 10)
+          : 10);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, poll);
+    if (shutdown_) break;
+
+    const std::int64_t now = NowNs();
+    // Deadline: latch the global stop once.
+    if (limits_.deadline_ms > 0 &&
+        now > limits_.deadline_ms * 1'000'000LL &&
+        !deadline_expired_.exchange(true, std::memory_order_relaxed)) {
+      global_stop_->store(true, std::memory_order_relaxed);
+      RETEST_COUNTER_ADD("atpg.watchdog.deadline_stops", "stops", "atpg",
+                         "runs stopped by the REPRO_DEADLINE_MS wall-clock "
+                         "deadline",
+                         1);
+    }
+    const bool global = global_stop_->load(std::memory_order_relaxed);
+    for (auto& slot_ptr : slots_) {
+      WorkerSlot& slot = *slot_ptr;
+      if (global) {
+        slot.stop.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      if (limits_.fault_timeout_ms <= 0) continue;
+      const std::int64_t started =
+          slot.started_ns.load(std::memory_order_acquire);
+      if (started == 0) continue;  // idle
+      if (now - started > limits_.fault_timeout_ms * 1'000'000LL &&
+          !slot.timed_out.exchange(true, std::memory_order_relaxed)) {
+        slot.stop.store(true, std::memory_order_relaxed);
+        preemptions_.fetch_add(1, std::memory_order_relaxed);
+        RETEST_COUNTER_ADD("atpg.watchdog.preemptions", "faults", "atpg",
+                           "fault searches preempted by the per-fault "
+                           "timeout (committed as kUntried)",
+                           1);
+      }
+    }
+  }
+}
+
+}  // namespace retest::core

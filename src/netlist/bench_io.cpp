@@ -2,15 +2,22 @@
 
 #include <algorithm>
 #include <cctype>
+#include <deque>
 #include <istream>
 #include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
+
+#include "core/metrics.h"
 
 namespace retest::netlist {
 namespace {
+
+using core::DiagnosticList;
+using core::StatusCode;
 
 std::string Trim(const std::string& s) {
   size_t b = 0, e = s.size();
@@ -42,155 +49,378 @@ struct PendingGate {
   int line;
 };
 
-[[noreturn]] void Fail(int line, const std::string& message) {
-  throw std::runtime_error(".bench line " + std::to_string(line) + ": " +
-                           message);
-}
+struct PortRef {
+  std::string name;
+  int line;
+};
+
+/// Collects every statement of the file plus every grammar problem;
+/// never throws, never stops early.
+class Parser {
+ public:
+  Parser(std::string circuit_name, std::string source)
+      : circuit_name_(std::move(circuit_name)), source_(std::move(source)) {}
+
+  BenchParseResult Run(std::istream& in) {
+    ScanLines(in);
+    ValidateNames();
+    BenchParseResult result;
+    if (diags_.ok()) BuildCircuit(result);
+    result.diagnostics = std::move(diags_);
+    if (!result.diagnostics.ok()) {
+      result.circuit.reset();
+      RETEST_COUNTER_ADD("bench_io.diagnostics", "diagnostics", "netlist",
+                         ".bench ingestion problems reported (all parses)",
+                         static_cast<long>(result.diagnostics.error_count()));
+    }
+    return result;
+  }
+
+ private:
+  void Error(int line, StatusCode code, std::string message) {
+    diags_.Add(code, std::move(message), source_, line);
+  }
+
+  /// Splits "NAME(a, b, c)"'s argument list; reports problems and
+  /// returns nullopt on a malformed list.
+  std::optional<std::vector<std::string>> ParseArgs(const std::string& text,
+                                                    size_t open, int line) {
+    if (open == std::string::npos) {
+      Error(line, StatusCode::kParseError, "expected '('");
+      return std::nullopt;
+    }
+    const size_t close = text.rfind(')');
+    if (close == std::string::npos || close < open) {
+      Error(line, StatusCode::kParseError, "missing ')'");
+      return std::nullopt;
+    }
+    const std::string args = text.substr(open + 1, close - open - 1);
+    std::vector<std::string> parts;
+    std::stringstream ss(args);
+    std::string part;
+    bool ok = true;
+    while (std::getline(ss, part, ',')) {
+      part = Trim(part);
+      if (part.empty()) {
+        Error(line, StatusCode::kParseError, "empty argument in '(...)'");
+        ok = false;
+        continue;
+      }
+      parts.push_back(std::move(part));
+    }
+    if (!ok) return std::nullopt;
+    return parts;
+  }
+
+  void ScanLines(std::istream& in) {
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string line = raw;
+      if (auto pos = line.find('#'); pos != std::string::npos) {
+        line = line.substr(0, pos);
+      }
+      line = Trim(line);
+      if (line.empty()) continue;
+
+      const size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        // Port declaration: INPUT(name) or OUTPUT(name).
+        const size_t open = line.find('(');
+        const std::string keyword =
+            Trim(open == std::string::npos ? line : line.substr(0, open));
+        const bool is_input = keyword == "INPUT";
+        const bool is_output = keyword == "OUTPUT";
+        if (!is_input && !is_output) {
+          Error(line_no, StatusCode::kParseError,
+                "expected INPUT(...), OUTPUT(...) or 'name = GATE(...)', "
+                "got '" + line + "'");
+          continue;
+        }
+        auto args = ParseArgs(line, open, line_no);
+        if (!args) continue;
+        if (args->size() != 1) {
+          Error(line_no, StatusCode::kParseError,
+                keyword + " takes exactly one name");
+          continue;
+        }
+        if (is_input) {
+          inputs_.push_back({(*args)[0], line_no});
+        } else {
+          outputs_.push_back({(*args)[0], line_no});
+        }
+        continue;
+      }
+
+      // Gate definition: name = KIND or name = KIND(a, b, ...).
+      const std::string name = Trim(line.substr(0, eq));
+      const std::string rhs = Trim(line.substr(eq + 1));
+      if (name.empty()) {
+        Error(line_no, StatusCode::kParseError, "missing net name before '='");
+        continue;
+      }
+      const size_t open = rhs.find('(');
+      const std::string kind_token =
+          Trim(open == std::string::npos ? rhs : rhs.substr(0, open));
+      const auto kind = KindFromString(kind_token);
+      if (!kind) {
+        Error(line_no, StatusCode::kParseError,
+              "unknown gate type '" + kind_token + "'");
+        continue;
+      }
+      PendingGate gate;
+      gate.name = name;
+      gate.kind = *kind;
+      gate.line = line_no;
+      if (open != std::string::npos) {
+        auto args = ParseArgs(rhs, open, line_no);
+        if (!args) continue;
+        gate.fanin = std::move(*args);
+      }
+      if (!CheckParseArity(gate)) continue;
+      gates_.push_back(std::move(gate));
+    }
+  }
+
+  /// Kind-specific fanin-count rules at the grammar level, so the
+  /// diagnostic lands on the offending line.
+  bool CheckParseArity(const PendingGate& gate) {
+    const size_t n = gate.fanin.size();
+    switch (gate.kind) {
+      case NodeKind::kConst0:
+      case NodeKind::kConst1:
+        if (n != 0) {
+          Error(gate.line, StatusCode::kParseError,
+                std::string(ToString(gate.kind)) + " takes no fanin");
+          return false;
+        }
+        return true;
+      case NodeKind::kDff:
+      case NodeKind::kBuf:
+      case NodeKind::kNot:
+        if (n != 1) {
+          Error(gate.line, StatusCode::kParseError,
+                std::string(ToString(gate.kind)) + " takes exactly one "
+                "fanin, got " + std::to_string(n));
+          return false;
+        }
+        return true;
+      default:
+        if (n < 1) {
+          Error(gate.line, StatusCode::kParseError,
+                std::string(ToString(gate.kind)) +
+                    " takes at least one fanin");
+          return false;
+        }
+        return true;
+    }
+  }
+
+  /// Name-level semantic checks: duplicates, undefined references,
+  /// synthetic-name collisions, combinational cycles.  Operates purely
+  /// on the scanned statements so every violation can be reported.
+  void ValidateNames() {
+    std::unordered_map<std::string, int> def_line;  // name -> first def line
+    auto define = [&](const std::string& name, int line) {
+      auto [it, inserted] = def_line.emplace(name, line);
+      if (!inserted) {
+        Error(line, StatusCode::kParseError,
+              "duplicate definition of '" + name + "' (first defined at line " +
+                  std::to_string(it->second) + ")");
+        return false;
+      }
+      return true;
+    };
+    for (const PortRef& input : inputs_) define(input.name, input.line);
+    std::vector<char> gate_defined(gates_.size(), 1);
+    for (size_t i = 0; i < gates_.size(); ++i) {
+      gate_defined[i] = define(gates_[i].name, gates_[i].line) ? 1 : 0;
+    }
+
+    // Undefined fanin references.
+    for (const PendingGate& gate : gates_) {
+      for (const std::string& ref : gate.fanin) {
+        if (!def_line.contains(ref)) {
+          Error(gate.line, StatusCode::kParseError,
+                "undefined fanin '" + ref + "' of '" + gate.name + "'");
+        }
+      }
+    }
+
+    // OUTPUT statements: the net must exist, appear once, and its
+    // synthetic "$po" pin name must be free.
+    std::unordered_map<std::string, int> out_line;
+    for (const PortRef& output : outputs_) {
+      if (!def_line.contains(output.name)) {
+        Error(output.line, StatusCode::kParseError,
+              "OUTPUT(" + output.name + ") references an undefined net");
+      }
+      auto [it, inserted] = out_line.emplace(output.name, output.line);
+      if (!inserted) {
+        Error(output.line, StatusCode::kParseError,
+              "duplicate OUTPUT(" + output.name + ") (first at line " +
+                  std::to_string(it->second) + ")");
+      }
+      if (def_line.contains(output.name + "$po")) {
+        Error(output.line, StatusCode::kParseError,
+              "net '" + output.name + "$po' collides with the synthetic "
+              "output pin of OUTPUT(" + output.name + ")");
+      }
+    }
+
+    // Combinational cycles among the non-DFF gates (Kahn's algorithm;
+    // DFF outputs and primary inputs are sources, edges into DFF data
+    // pins are sequential and cut).  Skip gates already diagnosed.
+    std::unordered_map<std::string, size_t> comb_gate;  // name -> gates_ index
+    for (size_t i = 0; i < gates_.size(); ++i) {
+      if (gates_[i].kind != NodeKind::kDff && gate_defined[i]) {
+        comb_gate.emplace(gates_[i].name, i);
+      }
+    }
+    std::vector<int> indegree(gates_.size(), 0);
+    std::vector<std::vector<size_t>> consumers(gates_.size());
+    std::deque<size_t> ready;
+    std::vector<char> relevant(gates_.size(), 0);
+    for (const auto& [name, i] : comb_gate) {
+      (void)name;
+      bool all_defined = true;
+      for (const std::string& ref : gates_[i].fanin) {
+        if (!def_line.contains(ref)) {
+          all_defined = false;
+          break;
+        }
+        auto it = comb_gate.find(ref);
+        if (it != comb_gate.end()) {
+          ++indegree[i];
+          consumers[it->second].push_back(i);
+        }
+      }
+      // Gates with an undefined fanin were diagnosed above and are
+      // excluded from cycle reporting, but still propagate (their
+      // consumers are not cycle members just because of them).
+      relevant[i] = all_defined ? 1 : 0;
+      if (indegree[i] == 0) ready.push_back(i);
+    }
+    // Drain in gate order for deterministic diagnostics.
+    std::sort(ready.begin(), ready.end());
+    std::vector<char> placed(gates_.size(), 0);
+    while (!ready.empty()) {
+      const size_t i = ready.front();
+      ready.pop_front();
+      placed[i] = 1;
+      for (size_t consumer : consumers[i]) {
+        if (--indegree[consumer] == 0) ready.push_back(consumer);
+      }
+    }
+    for (size_t i = 0; i < gates_.size(); ++i) {
+      if (relevant[i] && !placed[i]) {
+        Error(gates_[i].line, StatusCode::kParseError,
+              "combinational cycle through '" + gates_[i].name + "'");
+      }
+    }
+  }
+
+  /// Constructs the circuit.  Runs only on a clean diagnostic list, so
+  /// every name resolves, names are unique, and the combinational part
+  /// is acyclic; any failure past this point is a validation bug.
+  void BuildCircuit(BenchParseResult& result) {
+    try {
+      Circuit circuit(circuit_name_);
+      for (const PortRef& input : inputs_) {
+        circuit.Add(NodeKind::kInput, input.name);
+      }
+      // DFFs first (their Q may be referenced before their D is defined).
+      for (const PendingGate& gate : gates_) {
+        if (gate.kind == NodeKind::kDff) {
+          circuit.Add(NodeKind::kDff, gate.name);
+        }
+      }
+      // Combinational gates in dependency order (iterate until
+      // fixpoint; validation proved this terminates with all placed).
+      std::vector<char> placed(gates_.size(), 0);
+      size_t remaining = 0;
+      for (const PendingGate& gate : gates_) {
+        if (gate.kind != NodeKind::kDff) ++remaining;
+      }
+      bool progress = true;
+      while (remaining > 0 && progress) {
+        progress = false;
+        for (size_t i = 0; i < gates_.size(); ++i) {
+          if (placed[i] || gates_[i].kind == NodeKind::kDff) continue;
+          bool all = true;
+          std::vector<NodeId> fanin;
+          fanin.reserve(gates_[i].fanin.size());
+          for (const std::string& ref : gates_[i].fanin) {
+            const NodeId id = circuit.Find(ref);
+            if (id == kNoNode) {
+              all = false;
+              break;
+            }
+            fanin.push_back(id);
+          }
+          if (!all) continue;
+          circuit.Add(gates_[i].kind, gates_[i].name, std::move(fanin));
+          placed[i] = 1;
+          --remaining;
+          progress = true;
+        }
+      }
+      if (remaining > 0) {
+        diags_.Add(StatusCode::kInternal,
+                   "validated gates failed to place (validation bug)",
+                   source_);
+        return;
+      }
+      // Close DFF data inputs.
+      for (const PendingGate& gate : gates_) {
+        if (gate.kind != NodeKind::kDff) continue;
+        circuit.AddPin(circuit.Find(gate.name), circuit.Find(gate.fanin[0]));
+      }
+      // Output pins.
+      for (const PortRef& output : outputs_) {
+        circuit.Add(NodeKind::kOutput, output.name + "$po",
+                    {circuit.Find(output.name)});
+      }
+      result.circuit.emplace(std::move(circuit));
+    } catch (const std::exception& e) {
+      diags_.Add(StatusCode::kInternal,
+                 std::string("circuit construction threw after clean "
+                             "validation (validation bug): ") +
+                     e.what(),
+                 source_);
+    }
+  }
+
+  const std::string circuit_name_;
+  const std::string source_;
+  DiagnosticList diags_;
+  std::vector<PortRef> inputs_;
+  std::vector<PortRef> outputs_;
+  std::vector<PendingGate> gates_;
+};
 
 }  // namespace
 
+BenchParseResult ParseBench(std::istream& in, std::string circuit_name,
+                            std::string source) {
+  Parser parser(std::move(circuit_name), std::move(source));
+  return parser.Run(in);
+}
+
+BenchParseResult ParseBenchString(const std::string& text,
+                                  std::string circuit_name,
+                                  std::string source) {
+  std::istringstream in(text);
+  return ParseBench(in, std::move(circuit_name), std::move(source));
+}
+
 Circuit ReadBench(std::istream& in, std::string circuit_name) {
-  std::vector<std::string> input_names;
-  std::vector<std::string> output_nets;
-  std::vector<PendingGate> gates;
-
-  std::string raw;
-  int line_no = 0;
-  while (std::getline(in, raw)) {
-    ++line_no;
-    std::string line = raw;
-    if (auto pos = line.find('#'); pos != std::string::npos) {
-      line = line.substr(0, pos);
-    }
-    line = Trim(line);
-    if (line.empty()) continue;
-
-    auto parse_paren = [&](size_t open) -> std::vector<std::string> {
-      size_t close = line.rfind(')');
-      if (close == std::string::npos || close < open) {
-        Fail(line_no, "missing ')'");
-      }
-      std::string args = line.substr(open + 1, close - open - 1);
-      std::vector<std::string> parts;
-      std::stringstream ss(args);
-      std::string part;
-      while (std::getline(ss, part, ',')) {
-        part = Trim(part);
-        if (part.empty()) Fail(line_no, "empty argument");
-        parts.push_back(part);
-      }
-      return parts;
-    };
-
-    if (line.rfind("INPUT", 0) == 0 && line.find('=') == std::string::npos) {
-      auto args = parse_paren(line.find('('));
-      if (args.size() != 1) Fail(line_no, "INPUT takes one name");
-      input_names.push_back(args[0]);
-      continue;
-    }
-    if (line.rfind("OUTPUT", 0) == 0 && line.find('=') == std::string::npos) {
-      auto args = parse_paren(line.find('('));
-      if (args.size() != 1) Fail(line_no, "OUTPUT takes one name");
-      output_nets.push_back(args[0]);
-      continue;
-    }
-
-    size_t eq = line.find('=');
-    if (eq == std::string::npos) Fail(line_no, "expected '='");
-    std::string name = Trim(line.substr(0, eq));
-    std::string rhs = Trim(line.substr(eq + 1));
-    if (name.empty()) Fail(line_no, "missing net name");
-
-    size_t open = rhs.find('(');
-    std::string kind_token = Trim(open == std::string::npos ? rhs : rhs.substr(0, open));
-    auto kind = KindFromString(kind_token);
-    if (!kind) Fail(line_no, "unknown gate type '" + kind_token + "'");
-
-    PendingGate gate;
-    gate.name = name;
-    gate.kind = *kind;
-    gate.line = line_no;
-    if (open != std::string::npos) {
-      size_t close = rhs.rfind(')');
-      if (close == std::string::npos) Fail(line_no, "missing ')'");
-      std::string args = rhs.substr(open + 1, close - open - 1);
-      std::stringstream ss(args);
-      std::string part;
-      while (std::getline(ss, part, ',')) {
-        part = Trim(part);
-        if (part.empty()) Fail(line_no, "empty fanin");
-        gate.fanin.push_back(part);
-      }
-    }
-    gates.push_back(std::move(gate));
+  BenchParseResult result = ParseBench(in, std::move(circuit_name));
+  if (!result.ok()) {
+    throw std::runtime_error(result.diagnostics.ToString());
   }
-
-  Circuit circuit(std::move(circuit_name));
-  for (const std::string& name : input_names) {
-    circuit.Add(NodeKind::kInput, name);
-  }
-  // DFFs first (their Q may be referenced before their D is defined).
-  for (const PendingGate& gate : gates) {
-    if (gate.kind == NodeKind::kDff) {
-      if (gate.fanin.size() != 1) Fail(gate.line, "DFF takes one fanin");
-      circuit.Add(NodeKind::kDff, gate.name);
-    }
-  }
-  // Combinational gates in dependency order (iterate until fixpoint).
-  std::vector<bool> placed(gates.size(), false);
-  size_t remaining = 0;
-  for (size_t i = 0; i < gates.size(); ++i) {
-    if (gates[i].kind != NodeKind::kDff) ++remaining;
-  }
-  bool progress = true;
-  while (remaining > 0 && progress) {
-    progress = false;
-    for (size_t i = 0; i < gates.size(); ++i) {
-      if (placed[i] || gates[i].kind == NodeKind::kDff) continue;
-      bool ready = true;
-      for (const std::string& in : gates[i].fanin) {
-        if (circuit.Find(in) == kNoNode) {
-          ready = false;
-          break;
-        }
-      }
-      if (!ready) continue;
-      std::vector<NodeId> fanin;
-      for (const std::string& in : gates[i].fanin) {
-        fanin.push_back(circuit.Find(in));
-      }
-      circuit.Add(gates[i].kind, gates[i].name, std::move(fanin));
-      placed[i] = true;
-      --remaining;
-      progress = true;
-    }
-  }
-  if (remaining > 0) {
-    for (size_t i = 0; i < gates.size(); ++i) {
-      if (!placed[i] && gates[i].kind != NodeKind::kDff) {
-        Fail(gates[i].line,
-             "combinational cycle or undefined fanin at '" + gates[i].name +
-                 "'");
-      }
-    }
-  }
-  // Close DFF data inputs.
-  for (const PendingGate& gate : gates) {
-    if (gate.kind != NodeKind::kDff) continue;
-    const NodeId q = circuit.Find(gate.name);
-    const NodeId d = circuit.Find(gate.fanin[0]);
-    if (d == kNoNode) Fail(gate.line, "undefined DFF fanin '" + gate.fanin[0] + "'");
-    circuit.AddPin(q, d);
-  }
-  // Output pins.
-  for (const std::string& net : output_nets) {
-    const NodeId driver = circuit.Find(net);
-    if (driver == kNoNode) {
-      throw std::runtime_error(".bench: OUTPUT(" + net + ") is undefined");
-    }
-    circuit.Add(NodeKind::kOutput, net + "$po", {driver});
-  }
-  return circuit;
+  return std::move(*result.circuit);
 }
 
 Circuit ReadBenchString(const std::string& text, std::string circuit_name) {

@@ -9,17 +9,51 @@
 // OUTPUT(name) references a net defined elsewhere; a synthetic output
 // pin node named "name$po" is created internally so net names stay
 // unique, and the writer undoes this.
+//
+// The parser is *total*: ParseBench never throws on malformed input
+// and never stops at the first problem.  Every malformed line,
+// duplicate definition, undefined fanin and combinational cycle is
+// reported as a core::Diagnostic with its 1-based line number, so one
+// invocation over a broken file lists everything that is wrong with
+// it (docs/ROBUSTNESS.md).  The circuit is only constructed — and the
+// result's `circuit` only engaged — when the list is clean.  The
+// legacy ReadBench / ReadBenchString wrappers keep the old throwing
+// contract on top of ParseBench.
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
+#include "core/status.h"
 #include "netlist/circuit.h"
 
 namespace retest::netlist {
 
-/// Parses a circuit from .bench text.  Throws std::runtime_error with a
-/// line number on malformed input.
+/// Outcome of a total parse: `circuit` is engaged exactly when
+/// `diagnostics.ok()`.
+struct BenchParseResult {
+  std::optional<Circuit> circuit;
+  core::DiagnosticList diagnostics;
+
+  bool ok() const { return circuit.has_value(); }
+};
+
+/// Parses a circuit from .bench text, collecting every problem instead
+/// of throwing.  `source` labels the diagnostics (a file name, or the
+/// default "bench").
+BenchParseResult ParseBench(std::istream& in,
+                            std::string circuit_name = "bench",
+                            std::string source = "bench");
+
+/// Convenience overload parsing from a string.
+BenchParseResult ParseBenchString(const std::string& text,
+                                  std::string circuit_name = "bench",
+                                  std::string source = "bench");
+
+/// Legacy wrapper over ParseBench: throws std::runtime_error whose
+/// message lists *all* diagnostics (with line numbers) on malformed
+/// input.
 Circuit ReadBench(std::istream& in, std::string circuit_name = "bench");
 
 /// Convenience overload parsing from a string.

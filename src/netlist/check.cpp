@@ -1,9 +1,18 @@
 #include "netlist/check.h"
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace retest::netlist {
 namespace {
+
+using core::StatusCode;
+
+void AddError(CheckResult& result, std::string message) {
+  result.diagnostics.Add(StatusCode::kStructuralError, std::move(message),
+                         "check");
+}
 
 void CheckArity(const Circuit& circuit, CheckResult& result) {
   for (NodeId id = 0; id < circuit.size(); ++id) {
@@ -27,27 +36,59 @@ void CheckArity(const Circuit& circuit, CheckResult& result) {
         break;
     }
     if (!ok) {
-      result.errors.push_back("node '" + node.name + "' (" +
-                              std::string(ToString(node.kind)) + ") has " +
-                              std::to_string(n) + " fanins");
+      if (node.kind == NodeKind::kDff && n == 0) {
+        AddError(result, "dangling DFF '" + node.name +
+                             "' has no D input wired");
+      } else {
+        AddError(result, "node '" + node.name + "' (" +
+                             std::string(ToString(node.kind)) + ") has " +
+                             std::to_string(n) + " fanins");
+      }
     }
     for (NodeId driver : node.fanin) {
       if (driver < 0 || driver >= circuit.size()) {
-        result.errors.push_back("node '" + node.name +
-                                "' has out-of-range fanin");
+        AddError(result, "node '" + node.name + "' has out-of-range fanin");
       } else if (circuit.node(driver).kind == NodeKind::kOutput) {
-        result.errors.push_back("node '" + node.name +
-                                "' is driven by an OUTPUT pin");
+        AddError(result,
+                 "node '" + node.name + "' is driven by an OUTPUT pin");
       }
     }
   }
 }
 
-// DFS over combinational edges only (edges into DFF data pins are cut).
+/// Every fanin edge must appear in the driver's fanout list (with
+/// multiplicity) and vice versa; derived state drifting from the
+/// fanins corrupts cone traversals silently.
+void CheckFanoutConsistency(const Circuit& circuit, CheckResult& result) {
+  std::vector<int> expected(static_cast<size_t>(circuit.size()), 0);
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    for (NodeId driver : circuit.node(id).fanin) {
+      if (driver >= 0 && driver < circuit.size()) {
+        ++expected[static_cast<size_t>(driver)];
+      }
+    }
+  }
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (node.fanout.size() != static_cast<size_t>(
+                                  expected[static_cast<size_t>(id)])) {
+      AddError(result, "node '" + node.name + "' fanout list has " +
+                           std::to_string(node.fanout.size()) +
+                           " entries, fanins imply " +
+                           std::to_string(expected[static_cast<size_t>(id)]) +
+                           " (RebuildFanout needed?)");
+    }
+  }
+}
+
+// DFS over combinational edges only (edges into DFF data pins are
+// cut).  Unlike a first-error search, every independent cycle is
+// reported: when a back edge is found the offending edge is skipped
+// and the walk continues, so one invocation lists each strongly
+// connected violation once (anchored at the node that closes it).
 void CheckCombinationalAcyclic(const Circuit& circuit, CheckResult& result) {
   enum class Mark : char { kWhite, kGray, kBlack };
   std::vector<Mark> mark(static_cast<size_t>(circuit.size()), Mark::kWhite);
-  // Iterative DFS to survive deep circuits.
   for (NodeId root = 0; root < circuit.size(); ++root) {
     if (mark[static_cast<size_t>(root)] != Mark::kWhite) continue;
     std::vector<std::pair<NodeId, size_t>> stack{{root, 0}};
@@ -62,15 +103,16 @@ void CheckCombinationalAcyclic(const Circuit& circuit, CheckResult& result) {
         continue;
       }
       const NodeId child = node.fanin[next++];
+      if (child < 0 || child >= circuit.size()) continue;  // arity check's job
       switch (mark[static_cast<size_t>(child)]) {
         case Mark::kWhite:
           mark[static_cast<size_t>(child)] = Mark::kGray;
           stack.push_back({child, 0});
           break;
         case Mark::kGray:
-          result.errors.push_back("combinational cycle through '" +
-                                  circuit.node(child).name + "'");
-          return;
+          AddError(result, "combinational cycle through '" +
+                               circuit.node(child).name + "'");
+          break;  // skip the back edge, keep walking for more cycles
         case Mark::kBlack:
           break;
       }
@@ -83,7 +125,8 @@ void CheckCombinationalAcyclic(const Circuit& circuit, CheckResult& result) {
 CheckResult Check(const Circuit& circuit) {
   CheckResult result;
   CheckArity(circuit, result);
-  if (result.ok()) CheckCombinationalAcyclic(circuit, result);
+  CheckFanoutConsistency(circuit, result);
+  CheckCombinationalAcyclic(circuit, result);
   return result;
 }
 
@@ -91,7 +134,9 @@ void CheckOrThrow(const Circuit& circuit) {
   const CheckResult result = Check(circuit);
   if (result.ok()) return;
   std::string message = "circuit '" + circuit.name() + "' is malformed:";
-  for (const std::string& error : result.errors) message += "\n  " + error;
+  for (const core::Diagnostic& diagnostic : result.diagnostics) {
+    message += "\n  " + diagnostic.ToString();
+  }
   throw std::runtime_error(message);
 }
 

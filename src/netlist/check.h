@@ -1,25 +1,29 @@
 // Structural validity checks for circuits.
 #pragma once
 
-#include <string>
-#include <vector>
-
+#include "core/status.h"
 #include "netlist/circuit.h"
 
 namespace retest::netlist {
 
-/// Result of a structural check: empty `errors` means the circuit is
-/// well-formed (arities match kinds, the combinational part is acyclic,
-/// i.e. every feedback loop passes through a DFF).
+/// Result of a structural check: `diagnostics.ok()` means the circuit
+/// is well-formed (arities match kinds, fanins are in range and not
+/// output pins, no DFF dangles without a wired D input, the
+/// combinational part is acyclic, i.e. every feedback loop passes
+/// through a DFF, and fanout lists mirror the fanin lists).
+///
+/// The checks never stop at the first violation: every bad-arity node,
+/// every dangling DFF and every independent combinational cycle is
+/// reported in one pass (core::StatusCode::kStructuralError each).
 struct CheckResult {
-  std::vector<std::string> errors;
-  bool ok() const { return errors.empty(); }
+  core::DiagnosticList diagnostics;
+  bool ok() const { return diagnostics.ok(); }
 };
 
 /// Runs all structural checks on `circuit`.
 CheckResult Check(const Circuit& circuit);
 
-/// Throws std::runtime_error listing the problems unless Check passes.
+/// Throws std::runtime_error listing every problem unless Check passes.
 void CheckOrThrow(const Circuit& circuit);
 
 }  // namespace retest::netlist

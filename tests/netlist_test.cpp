@@ -206,5 +206,118 @@ TEST(BenchIo, CommentsAndBlankLines) {
   EXPECT_EQ(circuit.num_gates(), 1);
 }
 
+int DiagnosticsAtLine(const core::DiagnosticList& diagnostics, int line) {
+  int count = 0;
+  for (const core::Diagnostic& d : diagnostics) count += d.line == line;
+  return count;
+}
+
+TEST(BenchIo, ReportsEveryMalformedLineWithLineNumbers) {
+  // Four independent problems in one file: a garbled INPUT, an unknown
+  // gate, a bad arity and an undefined fanin.  One parse must surface
+  // all of them, each anchored to its 1-based line.
+  const char* text =
+      "INPUT(a)\n"         // 1: fine
+      "INPUT a\n"          // 2: missing parentheses
+      "z = FROB(a)\n"      // 3: unknown gate type
+      "n = NOT(a, a)\n"    // 4: NOT takes exactly one fanin
+      "g = AND(a, ghost)\n";  // 5: undefined fanin
+  const BenchParseResult result = ParseBenchString(text, "bad", "bad.bench");
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.diagnostics.error_count(), 4u)
+      << result.diagnostics.ToString();
+  EXPECT_EQ(DiagnosticsAtLine(result.diagnostics, 2), 1);
+  EXPECT_EQ(DiagnosticsAtLine(result.diagnostics, 3), 1);
+  EXPECT_EQ(DiagnosticsAtLine(result.diagnostics, 4), 1);
+  EXPECT_EQ(DiagnosticsAtLine(result.diagnostics, 5), 1);
+  for (const core::Diagnostic& d : result.diagnostics) {
+    EXPECT_EQ(d.source, "bad.bench");
+    EXPECT_EQ(d.code, core::StatusCode::kParseError);
+  }
+}
+
+TEST(BenchIo, ReportsDuplicateDefinitionWithFirstLine) {
+  const BenchParseResult result = ParseBenchString(
+      "INPUT(a)\nx = NOT(a)\nx = BUF(a)\n");
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.error_count(), 1u)
+      << result.diagnostics.ToString();
+  EXPECT_EQ(result.diagnostics[0].line, 3);
+  // The message points back at the first definition.
+  EXPECT_NE(result.diagnostics[0].message.find("line 2"), std::string::npos)
+      << result.diagnostics[0].message;
+}
+
+TEST(BenchIo, ReportsEveryCycleAndUndefinedFaninTogether) {
+  const char* text =
+      "INPUT(a)\n"
+      "x = AND(a, y)\n"   // cycle 1: x <-> y
+      "y = BUF(x)\n"
+      "p = OR(a, q)\n"    // cycle 2: p <-> q
+      "q = NOT(p)\n"
+      "w = AND(a, ghost)\n";  // independent undefined fanin
+  const BenchParseResult result = ParseBenchString(text);
+  EXPECT_FALSE(result.ok());
+  int undefined = 0;
+  std::vector<int> cycle_lines;
+  for (const core::Diagnostic& d : result.diagnostics) {
+    if (d.message.find("cycle") != std::string::npos) {
+      cycle_lines.push_back(d.line);
+    }
+    undefined += d.message.find("ghost") != std::string::npos;
+  }
+  // Every gate on either cycle is reported; the undefined fanin does
+  // not suppress the cycle diagnostics (or vice versa).
+  EXPECT_EQ(cycle_lines, (std::vector<int>{2, 3, 4, 5}))
+      << result.diagnostics.ToString();
+  EXPECT_EQ(undefined, 1) << result.diagnostics.ToString();
+}
+
+TEST(BenchIo, ThrowingWrapperListsAllProblems) {
+  try {
+    ReadBenchString("INPUT a\nz = FROB(b)\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find(":1:"), std::string::npos) << message;
+    EXPECT_NE(message.find(":2:"), std::string::npos) << message;
+  }
+}
+
+TEST(BenchIo, ParseSucceedsWithEngagedCircuit) {
+  const BenchParseResult result =
+      ParseBenchString("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n");
+  ASSERT_TRUE(result.ok()) << result.diagnostics.ToString();
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.circuit->num_gates(), 1);
+  EXPECT_TRUE(Check(*result.circuit).ok());
+}
+
+TEST(Check, ReportsEveryProblemInOnePass) {
+  Circuit circuit("multi");
+  const NodeId a = circuit.Add(NodeKind::kInput, "a");
+  circuit.Add(NodeKind::kNot, "n", {a, a});       // bad arity
+  circuit.Add(NodeKind::kDff, "q");               // dangling DFF
+  const NodeId g1 = circuit.Add(NodeKind::kOr, "g1", {a});
+  const NodeId g2 = circuit.Add(NodeKind::kAnd, "g2", {g1, a});
+  circuit.AddPin(g1, g2);                         // combinational cycle
+  const CheckResult result = Check(circuit);
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.diagnostics.error_count(), 3u)
+      << result.diagnostics.ToString();
+  bool arity = false;
+  bool dangling = false;
+  bool cycle = false;
+  for (const core::Diagnostic& d : result.diagnostics) {
+    arity = arity || d.message.find("has 2 fanins") != std::string::npos;
+    dangling = dangling || d.message.find("dangling DFF") != std::string::npos;
+    cycle = cycle || d.message.find("cycle") != std::string::npos;
+    EXPECT_EQ(d.code, core::StatusCode::kStructuralError);
+  }
+  EXPECT_TRUE(arity) << result.diagnostics.ToString();
+  EXPECT_TRUE(dangling) << result.diagnostics.ToString();
+  EXPECT_TRUE(cycle) << result.diagnostics.ToString();
+}
+
 }  // namespace
 }  // namespace retest::netlist
