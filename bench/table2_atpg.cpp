@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "analyze/certify.h"
+#include "analyze/scoap.h"
 #include "core/metrics.h"
 #include "experiments.h"
 
@@ -37,6 +39,12 @@ struct Row {
   double retimed_fc = 0, retimed_fe = 0;
   long original_cpu_ms = 0, retimed_cpu_ms = 0;
   double ratio = 0;
+  // Static analysis companions (src/analyze): SCOAP testability of both
+  // circuits, and the independent retiming certificate's verdict.
+  retest::analyze::ScoapSummary original_scoap;
+  retest::analyze::ScoapSummary retimed_scoap;
+  bool certified = false;
+  int certified_prefix = 0;
 };
 
 bool EmitJson(const std::vector<Row>& rows, double geomean_ratio,
@@ -63,10 +71,17 @@ bool EmitJson(const std::vector<Row>& rows, double geomean_ratio,
                  "    {\"name\": \"%s\", \"original\": {\"dffs\": %d, "
                  "\"fc\": %.2f, \"fe\": %.2f, \"cpu_ms\": %ld}, "
                  "\"retimed\": {\"dffs\": %d, \"fc\": %.2f, \"fe\": %.2f, "
-                 "\"cpu_ms\": %ld}, \"cpu_ratio\": %.2f}%s\n",
+                 "\"cpu_ms\": %ld}, \"cpu_ratio\": %.2f,\n",
                  r.name.c_str(), r.original_dffs, r.original_fc, r.original_fe,
                  r.original_cpu_ms, r.retimed_dffs, r.retimed_fc, r.retimed_fe,
-                 r.retimed_cpu_ms, r.ratio,
+                 r.retimed_cpu_ms, r.ratio);
+    std::fprintf(f, "     \"scoap\": {\"original\": %s,\n",
+                 r.original_scoap.ToJson(5).c_str());
+    std::fprintf(f, "     \"retimed\": %s},\n",
+                 r.retimed_scoap.ToJson(5).c_str());
+    std::fprintf(f,
+                 "     \"certified\": %s, \"certified_prefix\": %d}%s\n",
+                 r.certified ? "true" : "false", r.certified_prefix,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"geomean_cpu_ratio\": %.3f,\n", geomean_ratio);
@@ -109,10 +124,36 @@ Row MeasurePair(const retest::bench::Variant& variant, long original_budget,
                   ? static_cast<double>(retimed_result.elapsed_ms) /
                         static_cast<double>(original_result.elapsed_ms)
                   : 0.0;
+  // Static companions: SCOAP predicts the ATPG blow-up before any test
+  // generation runs, and the certifier independently re-establishes
+  // that the retimed circuit really is a retiming (with the Theorem-4
+  // prefix bound cross-checked against the move accounting).
+  row.original_scoap =
+      analyze::Summarize(analyze::ComputeScoap(prepared.original));
+  row.retimed_scoap =
+      analyze::Summarize(analyze::ComputeScoap(prepared.retimed));
+  const auto cert =
+      analyze::CertifyRetiming(prepared.original, prepared.retimed);
+  row.certified = cert.certified;
+  row.certified_prefix = cert.certificate.prefix_length;
+  if (!cert.certified) {
+    std::fprintf(stderr, "table2: %s: certification REFUSED:\n%s\n",
+                 row.name.c_str(), cert.diagnostics.ToString().c_str());
+  } else if (cert.certificate.prefix_length != prepared.moves.prefix_length()) {
+    std::fprintf(stderr,
+                 "table2: %s: certified prefix %d disagrees with move "
+                 "accounting %d\n",
+                 row.name.c_str(), cert.certificate.prefix_length,
+                 prepared.moves.prefix_length());
+  }
   std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
               row.name.c_str(), row.original_dffs, row.original_fc,
               row.original_fe, row.original_cpu_ms, row.retimed_dffs,
               row.retimed_fc, row.retimed_fe, row.retimed_cpu_ms, row.ratio);
+  std::printf(
+      "  static: scoap seq-cost %.0f -> %.0f, %s (prefix %d)\n",
+      row.original_scoap.sequential_cost, row.retimed_scoap.sequential_cost,
+      row.certified ? "certified" : "NOT certified", row.certified_prefix);
   std::fflush(stdout);
   return row;
 }

@@ -23,7 +23,7 @@ while IFS= read -r header; do
     echo "FAIL: $header" >&2
     fail=1
   fi
-done < <(find src tests bench -name '*.h' | sort)
+done < <(find src tests bench tools -name '*.h' | sort)
 
 if [ "$checked" -eq 0 ]; then
   echo "no headers found -- run from the repository root" >&2

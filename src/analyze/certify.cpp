@@ -1,0 +1,652 @@
+#include "analyze/certify.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/metrics.h"
+#include "netlist/check.h"
+
+namespace retest::analyze {
+namespace {
+
+using core::StatusCode;
+using netlist::Circuit;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+/// A leaf of one anchor's fanout tree: the fanin pin of an anchor the
+/// signal eventually reaches, or a dangling tail (anchor = -2, pin =
+/// registers stranded on the tail, so mutated dangling chains refuse).
+using Leaf = std::pair<int, int>;
+constexpr int kDanglingAnchor = -2;
+
+/// One side's view of the shared retiming graph: anchors (gates, PIs,
+/// POs, constants present in *both* circuits) occupy the shared index
+/// range [0, num_anchors); fanout stems discovered during the walk are
+/// appended per side and matched structurally afterwards.
+struct View {
+  struct VEdge {
+    int from = -1;
+    int to = -1;      ///< Vertex, or kDanglingAnchor for a dangling tail.
+    int weight = 0;   ///< DFFs absorbed along this interconnection.
+    int sink_pin = -1;  ///< Fanin pin when `to` is an anchor; -1 for stems.
+  };
+  std::vector<VEdge> edges;
+  int num_vertices = 0;             ///< Anchors + this side's stems.
+  std::vector<std::string> stem_key;  ///< Per stem (index - num_anchors).
+  long registers_absorbed = 0;
+};
+
+struct Anchors {
+  std::vector<std::string> names;  ///< Sorted; shared vertex numbering.
+  int IndexOf(const std::string& name) const {
+    const auto it = std::lower_bound(names.begin(), names.end(), name);
+    return it != names.end() && *it == name
+               ? static_cast<int>(it - names.begin())
+               : -1;
+  }
+};
+
+/// True when `node` is pass-through for the shared graph: a DFF
+/// (absorbed into weights) or a buffer that exists on this side only
+/// (retime/apply materializes zero-weight stem-to-stem branches as
+/// fresh buffers; the inverse direction contracts them symmetrically).
+bool IsPassThrough(const Node& node, const Circuit& other) {
+  if (node.kind == NodeKind::kDff) return true;
+  return node.kind == NodeKind::kBuf && other.Find(node.name) == netlist::kNoNode;
+}
+
+/// Distinct (consumer, pin) readers of `driver`'s net, in pin order.
+std::vector<std::pair<NodeId, int>> ConsumersOf(const Circuit& circuit,
+                                                NodeId driver) {
+  std::vector<std::pair<NodeId, int>> consumers;
+  std::vector<NodeId> seen;
+  for (NodeId sink : circuit.node(driver).fanout) {
+    if (std::find(seen.begin(), seen.end(), sink) != seen.end()) continue;
+    seen.push_back(sink);
+    const Node& node = circuit.node(sink);
+    for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+      if (node.fanin[pin] == driver) {
+        consumers.push_back({sink, static_cast<int>(pin)});
+      }
+    }
+  }
+  return consumers;
+}
+
+/// Builds one side's view by walking every anchor's output through
+/// pass-through nodes, counting DFFs into edge weights and creating a
+/// stem vertex at every fanout point (mirroring the Leiserson–Saxe
+/// graph the paper retimes, but derived without retime/from_netlist).
+View BuildView(const Circuit& circuit, const Circuit& other,
+               const Anchors& anchors) {
+  View view;
+  view.num_vertices = static_cast<int>(anchors.names.size());
+
+  struct Item {
+    int from;       ///< Source vertex of the edge being grown.
+    NodeId node;    ///< Current netlist node (anchor output or pass-through).
+    int weight;     ///< DFFs crossed so far.
+  };
+  std::vector<Item> work;
+  for (const std::string& name : anchors.names) {
+    const NodeId id = circuit.Find(name);
+    if (id == netlist::kNoNode) continue;  // caught by anchor-set check
+    const Node& node = circuit.node(id);
+    if (node.kind == NodeKind::kOutput) continue;  // sinks only
+    work.push_back({anchors.IndexOf(name), id, 0});
+  }
+
+  while (!work.empty()) {
+    const Item item = work.back();
+    work.pop_back();
+    const auto consumers = ConsumersOf(circuit, item.node);
+    if (consumers.empty()) {
+      // Dangling tail: no sink vertex exists, so the stranded weight
+      // becomes part of the leaf identity instead of an equation.
+      view.edges.push_back({item.from, kDanglingAnchor, item.weight,
+                            item.weight});
+      continue;
+    }
+    if (consumers.size() == 1) {
+      const auto [sink, pin] = consumers.front();
+      const Node& node = circuit.node(sink);
+      if (IsPassThrough(node, other)) {
+        const int crossed = node.kind == NodeKind::kDff ? 1 : 0;
+        view.registers_absorbed += crossed;
+        work.push_back({item.from, sink, item.weight + crossed});
+      } else {
+        view.edges.push_back(
+            {item.from, anchors.IndexOf(node.name), item.weight, pin});
+      }
+      continue;
+    }
+    // Fanout point: a stem vertex, then one branch per reader.
+    const int stem = view.num_vertices++;
+    view.stem_key.push_back("stem:" + circuit.node(item.node).name);
+    view.edges.push_back({item.from, stem, item.weight, -1});
+    for (const auto& [sink, pin] : consumers) {
+      const Node& node = circuit.node(sink);
+      if (IsPassThrough(node, other)) {
+        const int crossed = node.kind == NodeKind::kDff ? 1 : 0;
+        view.registers_absorbed += crossed;
+        work.push_back({stem, sink, crossed});
+      } else {
+        view.edges.push_back({stem, anchors.IndexOf(node.name), 0, pin});
+      }
+    }
+  }
+  return view;
+}
+
+/// Leaf multiset of every vertex's subtree (anchors excluded: they are
+/// roots/sinks, not tree-internal).  Per-vertex sorted leaf lists are
+/// the signatures stems are matched on.
+std::vector<std::vector<Leaf>> LeafSignatures(const View& view) {
+  std::vector<std::vector<Leaf>> leaves(
+      static_cast<size_t>(view.num_vertices));
+  // Edges form forests rooted at anchors; process sinks-first by
+  // repeated relaxation (tree depth passes; views are small).
+  std::vector<std::vector<int>> out_edges(
+      static_cast<size_t>(view.num_vertices));
+  for (size_t e = 0; e < view.edges.size(); ++e) {
+    out_edges[static_cast<size_t>(view.edges[e].from)].push_back(
+        static_cast<int>(e));
+  }
+  // Post-order over each vertex: a stem's leaves are the union of its
+  // out-edges' targets' leaves.
+  std::vector<char> done(static_cast<size_t>(view.num_vertices), 0);
+  std::function<void(int)> visit = [&](int v) {
+    if (done[static_cast<size_t>(v)]) return;
+    done[static_cast<size_t>(v)] = 1;
+    for (int e : out_edges[static_cast<size_t>(v)]) {
+      const View::VEdge& edge = view.edges[static_cast<size_t>(e)];
+      if (edge.to == kDanglingAnchor) {
+        leaves[static_cast<size_t>(v)].push_back(
+            {kDanglingAnchor, edge.sink_pin});
+      } else if (edge.sink_pin >= 0) {
+        leaves[static_cast<size_t>(v)].push_back({edge.to, edge.sink_pin});
+      } else {
+        visit(edge.to);
+        const auto& sub = leaves[static_cast<size_t>(edge.to)];
+        leaves[static_cast<size_t>(v)].insert(
+            leaves[static_cast<size_t>(v)].end(), sub.begin(), sub.end());
+      }
+    }
+    std::sort(leaves[static_cast<size_t>(v)].begin(),
+              leaves[static_cast<size_t>(v)].end());
+  };
+  for (int v = 0; v < view.num_vertices; ++v) visit(v);
+  return leaves;
+}
+
+std::string LeafToString(const Anchors& anchors, const Leaf& leaf) {
+  if (leaf.first == kDanglingAnchor) {
+    return "<dangling/" + std::to_string(leaf.second) + " regs>";
+  }
+  return anchors.names[static_cast<size_t>(leaf.first)] + "/pin" +
+         std::to_string(leaf.second);
+}
+
+/// The matched shared graph: every original-side edge paired with its
+/// retimed-side weight, over a unified vertex numbering (anchors
+/// shared; original-side stem ids reused for matched retimed stems).
+struct SharedGraph {
+  struct SEdge {
+    int from, to;
+    int w_original, w_retimed;
+    int sink_pin;
+  };
+  std::vector<SEdge> edges;
+  int num_vertices = 0;
+  std::vector<std::string> vertex_key;  ///< Original-side keys.
+  std::vector<bool> pinned;             ///< PI/PO/constant: lag 0.
+};
+
+/// Matches the two views' stems by leaf signature and pairs up edges.
+/// Any mismatch appends a kCertifyRefused diagnostic and the function
+/// returns false.
+bool MatchViews(const Anchors& anchors, const View& original,
+                const View& retimed, const Circuit& original_circuit,
+                SharedGraph& out, core::DiagnosticList& diagnostics) {
+  const auto sig_original = LeafSignatures(original);
+  const auto sig_retimed = LeafSignatures(retimed);
+  const int num_anchors = static_cast<int>(anchors.names.size());
+
+  auto refuse = [&](std::string message) {
+    diagnostics.Add(StatusCode::kCertifyRefused, std::move(message),
+                    "certify");
+  };
+
+  // Stems match when their leaf signatures are identical; signatures
+  // within one side are unique unless indistinguishable dangling
+  // branches exist, which is refused rather than guessed at.
+  std::map<std::vector<Leaf>, int> by_signature;
+  for (int v = num_anchors; v < retimed.num_vertices; ++v) {
+    const auto& sig = sig_retimed[static_cast<size_t>(v)];
+    if (!by_signature.emplace(sig, v).second) {
+      refuse("ambiguous fanout structure in retimed circuit: two stems "
+             "share leaf set {" +
+             (sig.empty() ? std::string()
+                          : LeafToString(anchors, sig.front())) +
+             ", ...}");
+      return false;
+    }
+  }
+  std::vector<int> matched(static_cast<size_t>(original.num_vertices), -1);
+  for (int v = 0; v < num_anchors; ++v) matched[static_cast<size_t>(v)] = v;
+  std::set<int> used;
+  for (int v = num_anchors; v < original.num_vertices; ++v) {
+    const auto& sig = sig_original[static_cast<size_t>(v)];
+    const auto it = by_signature.find(sig);
+    if (it == by_signature.end()) {
+      refuse("fanout structure differs at " +
+             original.stem_key[static_cast<size_t>(v - num_anchors)] +
+             ": no retimed fanout point reaches exactly {" +
+             (sig.empty() ? std::string()
+                          : LeafToString(anchors, sig.front())) +
+             ", ...} (" + std::to_string(sig.size()) + " readers)");
+      return false;
+    }
+    matched[static_cast<size_t>(v)] = it->second;
+    used.insert(it->second);
+  }
+  if (static_cast<int>(used.size()) !=
+      retimed.num_vertices - num_anchors) {
+    refuse("retimed circuit has " +
+           std::to_string(retimed.num_vertices - num_anchors) +
+           " fanout points, original has " +
+           std::to_string(original.num_vertices - num_anchors));
+    return false;
+  }
+
+  // Unified numbering: original-side ids; translate retimed edges.
+  out.num_vertices = original.num_vertices;
+  out.vertex_key.resize(static_cast<size_t>(original.num_vertices));
+  out.pinned.assign(static_cast<size_t>(original.num_vertices), false);
+  for (int v = 0; v < num_anchors; ++v) {
+    out.vertex_key[static_cast<size_t>(v)] =
+        anchors.names[static_cast<size_t>(v)];
+    const NodeId id = original_circuit.Find(anchors.names[static_cast<size_t>(v)]);
+    const NodeKind kind = original_circuit.node(id).kind;
+    out.pinned[static_cast<size_t>(v)] =
+        kind == NodeKind::kInput || kind == NodeKind::kOutput ||
+        kind == NodeKind::kConst0 || kind == NodeKind::kConst1;
+  }
+  for (int v = num_anchors; v < original.num_vertices; ++v) {
+    out.vertex_key[static_cast<size_t>(v)] =
+        original.stem_key[static_cast<size_t>(v - num_anchors)];
+  }
+  std::vector<int> retimed_to_unified(
+      static_cast<size_t>(retimed.num_vertices), -1);
+  for (int v = 0; v < original.num_vertices; ++v) {
+    retimed_to_unified[static_cast<size_t>(matched[static_cast<size_t>(v)])] =
+        v;
+  }
+
+  // Pair edges by (from, to, sink_pin) in unified ids.
+  std::map<std::tuple<int, int, int>, int> retimed_edges;
+  for (size_t e = 0; e < retimed.edges.size(); ++e) {
+    const View::VEdge& edge = retimed.edges[e];
+    const int from = retimed_to_unified[static_cast<size_t>(edge.from)];
+    const int to = edge.to == kDanglingAnchor
+                       ? kDanglingAnchor
+                       : retimed_to_unified[static_cast<size_t>(edge.to)];
+    if (!retimed_edges
+             .emplace(std::make_tuple(from, to, edge.sink_pin),
+                      static_cast<int>(e))
+             .second) {
+      refuse("duplicate interconnection in retimed circuit into vertex '" +
+             (to >= 0 ? out.vertex_key[static_cast<size_t>(to)]
+                      : std::string("<dangling>")) +
+             "'");
+      return false;
+    }
+  }
+  for (const View::VEdge& edge : original.edges) {
+    const auto key = std::make_tuple(edge.from, edge.to, edge.sink_pin);
+    const auto it = retimed_edges.find(key);
+    if (it == retimed_edges.end()) {
+      refuse("interconnection missing from retimed circuit: '" +
+             out.vertex_key[static_cast<size_t>(edge.from)] + "' -> " +
+             (edge.to >= 0 ? "'" + out.vertex_key[static_cast<size_t>(edge.to)] + "'"
+                           : std::string("<dangling>")));
+      return false;
+    }
+    if (edge.to == kDanglingAnchor) {
+      // Identity already encodes the stranded weight; no equation.
+      retimed_edges.erase(it);
+      continue;
+    }
+    out.edges.push_back({edge.from, edge.to, edge.weight,
+                         retimed.edges[static_cast<size_t>(it->second)].weight,
+                         edge.sink_pin});
+    retimed_edges.erase(it);
+  }
+  if (!retimed_edges.empty()) {
+    const int from = std::get<0>(retimed_edges.begin()->first);
+    refuse("retimed circuit has " + std::to_string(retimed_edges.size()) +
+           " extra interconnection(s), first from '" +
+           out.vertex_key[static_cast<size_t>(from)] + "'");
+    return false;
+  }
+  return true;
+}
+
+/// Validates the anchor sets (same names, kinds and arities on both
+/// sides) and returns the shared numbering.
+bool CollectAnchors(const Circuit& original, const Circuit& retimed,
+                    Anchors& anchors, core::DiagnosticList& diagnostics) {
+  auto refuse = [&](std::string message) {
+    diagnostics.Add(StatusCode::kCertifyRefused, std::move(message),
+                    "certify");
+  };
+  bool ok = true;
+  auto collect = [&](const Circuit& circuit, const Circuit& other,
+                     std::vector<std::string>& names) {
+    for (NodeId id = 0; id < circuit.size(); ++id) {
+      const Node& node = circuit.node(id);
+      if (node.kind == NodeKind::kDff || IsPassThrough(node, other)) continue;
+      names.push_back(node.name);
+    }
+    std::sort(names.begin(), names.end());
+  };
+  std::vector<std::string> retimed_names;
+  collect(original, retimed, anchors.names);
+  collect(retimed, original, retimed_names);
+  std::vector<std::string> only_original, only_retimed;
+  std::set_difference(anchors.names.begin(), anchors.names.end(),
+                      retimed_names.begin(), retimed_names.end(),
+                      std::back_inserter(only_original));
+  std::set_difference(retimed_names.begin(), retimed_names.end(),
+                      anchors.names.begin(), anchors.names.end(),
+                      std::back_inserter(only_retimed));
+  for (const std::string& name : only_original) {
+    refuse("node '" + name + "' exists only in the original circuit");
+    ok = false;
+  }
+  for (const std::string& name : only_retimed) {
+    refuse("node '" + name + "' exists only in the retimed circuit");
+    ok = false;
+  }
+  if (!ok) return false;
+  for (const std::string& name : anchors.names) {
+    const Node& a = original.node(original.Find(name));
+    const Node& b = retimed.node(retimed.Find(name));
+    if (a.kind != b.kind) {
+      refuse("node '" + name + "' changed kind: " +
+             std::string(netlist::ToString(a.kind)) + " vs " +
+             std::string(netlist::ToString(b.kind)));
+      ok = false;
+    } else if (a.fanin.size() != b.fanin.size()) {
+      refuse("node '" + name + "' changed arity: " +
+             std::to_string(a.fanin.size()) + " vs " +
+             std::to_string(b.fanin.size()));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+/// Builds the matched shared graph for a pair, refusing on any
+/// structural mismatch.  Shared by certification and verification.
+bool BuildSharedGraph(const Circuit& original, const Circuit& retimed,
+                      Anchors& anchors, SharedGraph& graph,
+                      core::DiagnosticList& diagnostics,
+                      long& original_registers, long& retimed_registers) {
+  const auto check_original = netlist::Check(original);
+  const auto check_retimed = netlist::Check(retimed);
+  if (!check_original.ok() || !check_retimed.ok()) {
+    diagnostics.Append(check_original.diagnostics);
+    diagnostics.Append(check_retimed.diagnostics);
+    return false;
+  }
+  if (!CollectAnchors(original, retimed, anchors, diagnostics)) return false;
+  const View view_original = BuildView(original, retimed, anchors);
+  const View view_retimed = BuildView(retimed, original, anchors);
+  original_registers = view_original.registers_absorbed;
+  retimed_registers = view_retimed.registers_absorbed;
+  auto account = [&](const View& view, const Circuit& circuit,
+                     const char* side) {
+    if (view.registers_absorbed == circuit.num_dffs()) return true;
+    diagnostics.Add(StatusCode::kCertifyRefused,
+                    std::string(side) + " circuit has " +
+                        std::to_string(circuit.num_dffs()) +
+                        " registers but only " +
+                        std::to_string(view.registers_absorbed) +
+                        " lie on gate-to-gate paths (register loop "
+                        "crossing no gate?)",
+                    "certify");
+    return false;
+  };
+  if (!account(view_original, original, "original") ||
+      !account(view_retimed, retimed, "retimed")) {
+    return false;
+  }
+  return MatchViews(anchors, view_original, view_retimed, original, graph,
+                    diagnostics);
+}
+
+/// Checks every edge equation of `graph` under `lags` and reports each
+/// violation.  Returns true when all hold.
+bool CheckEquations(const SharedGraph& graph, const std::vector<int>& lags,
+                    core::DiagnosticList& diagnostics) {
+  bool ok = true;
+  for (const SharedGraph::SEdge& edge : graph.edges) {
+    const int expected = edge.w_original + lags[static_cast<size_t>(edge.to)] -
+                         lags[static_cast<size_t>(edge.from)];
+    if (expected != edge.w_retimed) {
+      diagnostics.Add(
+          StatusCode::kCertifyRefused,
+          "edge '" + graph.vertex_key[static_cast<size_t>(edge.from)] +
+              "' -> '" + graph.vertex_key[static_cast<size_t>(edge.to)] +
+              "': w=" + std::to_string(edge.w_original) +
+              " w'=" + std::to_string(edge.w_retimed) + " but r(head)-r(tail)=" +
+              std::to_string(lags[static_cast<size_t>(edge.to)] -
+                             lags[static_cast<size_t>(edge.from)]),
+          "certify");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+Certificate MakeCertificate(const Circuit& original, const Circuit& retimed,
+                            const SharedGraph& graph,
+                            const std::vector<int>& lags,
+                            long original_registers, long retimed_registers) {
+  Certificate certificate;
+  certificate.original_name = original.name();
+  certificate.retimed_name = retimed.name();
+  certificate.original_registers = original_registers;
+  certificate.retimed_registers = retimed_registers;
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    const int lag = lags[static_cast<size_t>(v)];
+    certificate.lags.emplace_back(graph.vertex_key[static_cast<size_t>(v)],
+                                  lag);
+    certificate.prefix_length = std::max(certificate.prefix_length, -lag);
+    certificate.max_backward_moves =
+        std::max(certificate.max_backward_moves, lag);
+  }
+  return certificate;
+}
+
+}  // namespace
+
+CertifyResult CertifyRetiming(const Circuit& original,
+                              const Circuit& retimed) {
+  RETEST_SCOPED_TIMER(timer, "analyze.certify_ms", "analyze",
+                      "wall time of one retiming certification");
+  CertifyResult result;
+  Anchors anchors;
+  SharedGraph graph;
+  long original_registers = 0, retimed_registers = 0;
+  if (!BuildSharedGraph(original, retimed, anchors, graph, result.diagnostics,
+                        original_registers, retimed_registers)) {
+    RETEST_COUNTER_ADD("analyze.certify.refused", "pairs", "analyze",
+                       "retiming certifications refused", 1);
+    return result;
+  }
+
+  // Infer lags: BFS over the undirected constraint graph from pinned
+  // vertices (r = 0), then from any vertex left over (components with
+  // no PI/PO: the base is arbitrary, registers only shift in place).
+  std::vector<std::vector<std::pair<int, int>>> adjacent(
+      static_cast<size_t>(graph.num_vertices));  // (neighbor, delta to it)
+  for (const SharedGraph::SEdge& edge : graph.edges) {
+    const int delta = edge.w_retimed - edge.w_original;  // r(to) - r(from)
+    adjacent[static_cast<size_t>(edge.from)].push_back({edge.to, delta});
+    adjacent[static_cast<size_t>(edge.to)].push_back({edge.from, -delta});
+  }
+  std::vector<int> lags(static_cast<size_t>(graph.num_vertices), 0);
+  std::vector<char> assigned(static_cast<size_t>(graph.num_vertices), 0);
+  std::vector<int> queue;
+  auto flood = [&](int seed) {
+    queue.push_back(seed);
+    assigned[static_cast<size_t>(seed)] = 1;
+    while (!queue.empty()) {
+      const int v = queue.back();
+      queue.pop_back();
+      for (const auto& [next, delta] : adjacent[static_cast<size_t>(v)]) {
+        if (assigned[static_cast<size_t>(next)]) continue;
+        assigned[static_cast<size_t>(next)] = 1;
+        lags[static_cast<size_t>(next)] = lags[static_cast<size_t>(v)] + delta;
+        queue.push_back(next);
+      }
+    }
+  };
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    if (graph.pinned[static_cast<size_t>(v)] &&
+        !assigned[static_cast<size_t>(v)]) {
+      lags[static_cast<size_t>(v)] = 0;
+      flood(v);
+    }
+  }
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    if (!assigned[static_cast<size_t>(v)]) {
+      result.diagnostics.AddNote(
+          StatusCode::kCertifyRefused,
+          "vertex '" + graph.vertex_key[static_cast<size_t>(v)] +
+              "' is not connected to any pinned I/O vertex; its lag base "
+              "is arbitrary (set to 0)",
+          "certify");
+      lags[static_cast<size_t>(v)] = 0;
+      flood(v);
+    }
+  }
+
+  bool ok = CheckEquations(graph, lags, result.diagnostics);
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    if (graph.pinned[static_cast<size_t>(v)] &&
+        lags[static_cast<size_t>(v)] != 0) {
+      result.diagnostics.Add(
+          StatusCode::kCertifyRefused,
+          "I/O vertex '" + graph.vertex_key[static_cast<size_t>(v)] +
+              "' would need lag " +
+              std::to_string(lags[static_cast<size_t>(v)]) +
+              " (must be 0)",
+          "certify");
+      ok = false;
+    }
+  }
+  if (!ok) {
+    RETEST_COUNTER_ADD("analyze.certify.refused", "pairs", "analyze",
+                       "retiming certifications refused", 1);
+    return result;
+  }
+  result.certified = true;
+  result.certificate = MakeCertificate(original, retimed, graph, lags,
+                                       original_registers, retimed_registers);
+  RETEST_COUNTER_ADD("analyze.certify.accepted", "pairs", "analyze",
+                     "retiming certifications accepted", 1);
+  return result;
+}
+
+CertifyResult VerifyCertificate(const Circuit& original,
+                                const Circuit& retimed,
+                                const Certificate& certificate) {
+  RETEST_SCOPED_TIMER(timer, "analyze.certify_ms", "analyze",
+                      "wall time of one retiming certification");
+  CertifyResult result;
+  Anchors anchors;
+  SharedGraph graph;
+  long original_registers = 0, retimed_registers = 0;
+  if (!BuildSharedGraph(original, retimed, anchors, graph, result.diagnostics,
+                        original_registers, retimed_registers)) {
+    return result;
+  }
+  std::map<std::string, int> claimed(certificate.lags.begin(),
+                                     certificate.lags.end());
+  std::vector<int> lags(static_cast<size_t>(graph.num_vertices), 0);
+  bool ok = true;
+  for (int v = 0; v < graph.num_vertices; ++v) {
+    const auto it = claimed.find(graph.vertex_key[static_cast<size_t>(v)]);
+    if (it == claimed.end()) {
+      result.diagnostics.Add(StatusCode::kCertifyRefused,
+                             "certificate is missing a lag for vertex '" +
+                                 graph.vertex_key[static_cast<size_t>(v)] +
+                                 "'",
+                             "certify");
+      ok = false;
+      continue;
+    }
+    lags[static_cast<size_t>(v)] = it->second;
+    claimed.erase(it);
+    if (graph.pinned[static_cast<size_t>(v)] &&
+        lags[static_cast<size_t>(v)] != 0) {
+      result.diagnostics.Add(
+          StatusCode::kCertifyRefused,
+          "certificate assigns nonzero lag to I/O vertex '" +
+              graph.vertex_key[static_cast<size_t>(v)] + "'",
+          "certify");
+      ok = false;
+    }
+  }
+  for (const auto& entry : claimed) {
+    result.diagnostics.Add(StatusCode::kCertifyRefused,
+                           "certificate names unknown vertex '" + entry.first +
+                               "'",
+                           "certify");
+    ok = false;
+  }
+  if (!CheckEquations(graph, lags, result.diagnostics)) ok = false;
+  if (ok) {
+    int prefix = 0;
+    for (const int lag : lags) prefix = std::max(prefix, -lag);
+    if (prefix != certificate.prefix_length) {
+      result.diagnostics.Add(
+          StatusCode::kCertifyRefused,
+          "certificate claims prefix bound " +
+              std::to_string(certificate.prefix_length) +
+              " but the lags imply " + std::to_string(prefix),
+          "certify");
+      ok = false;
+    }
+  }
+  if (!ok) return result;
+  result.certified = true;
+  result.certificate = MakeCertificate(original, retimed, graph, lags,
+                                       original_registers, retimed_registers);
+  return result;
+}
+
+std::string Certificate::ToString() const {
+  std::string out = "retiming-certificate v1\n";
+  out += "original " + original_name + "\n";
+  out += "retimed " + retimed_name + "\n";
+  out += "registers " + std::to_string(original_registers) + " -> " +
+         std::to_string(retimed_registers) + "\n";
+  out += "prefix " + std::to_string(prefix_length) + "\n";
+  out += "max-backward " + std::to_string(max_backward_moves) + "\n";
+  for (const auto& [key, lag] : lags) {
+    if (lag == 0) continue;  // identity lags are implicit
+    out += "lag " + key + " " + std::to_string(lag) + "\n";
+  }
+  return out;
+}
+
+}  // namespace retest::analyze

@@ -1,0 +1,428 @@
+#include "analyze/lint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/metrics.h"
+
+namespace retest::analyze {
+namespace {
+
+using netlist::Circuit;
+using netlist::IsGate;
+using netlist::Node;
+using netlist::NodeId;
+using netlist::NodeKind;
+
+bool ValidId(const Circuit& circuit, NodeId id) {
+  return id >= 0 && id < circuit.size();
+}
+
+/// Appends one finding, anchored to the defining source line when the
+/// caller provided a map (circuits parsed from .bench files).
+void AddFinding(const Circuit& circuit, NodeId id, const LintOptions& options,
+                core::DiagnosticList& out, std::string message) {
+  int line = 0;
+  if (options.definition_lines != nullptr && ValidId(circuit, id)) {
+    const auto it = options.definition_lines->find(circuit.node(id).name);
+    if (it != options.definition_lines->end()) line = it->second;
+  }
+  out.Add(core::StatusCode::kLintFinding, std::move(message), options.source,
+          line);
+}
+
+// ---- comb-cycles: Tarjan SCC over the combinational edges ----------
+//
+// netlist/check already refuses combinational cycles with a DFS back
+// edge; this pass reports each strongly connected component *once*,
+// with its full membership, which is the message a human needs to cut
+// the loop.  Edges into DFF data pins are sequential and excluded.
+void PassCombCycles(const Circuit& circuit, const LintOptions& options,
+                    core::DiagnosticList& out) {
+  const int n = circuit.size();
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<NodeId> stack;
+  int next_index = 0;
+
+  // Combinational successors of `id`: consumers that are not DFFs.
+  auto successors = [&](NodeId id) {
+    std::vector<NodeId> succ;
+    for (NodeId sink : circuit.node(id).fanout) {
+      if (ValidId(circuit, sink) &&
+          circuit.node(sink).kind != NodeKind::kDff) {
+        succ.push_back(sink);
+      }
+    }
+    return succ;
+  };
+
+  struct Frame {
+    NodeId id;
+    std::vector<NodeId> succ;
+    size_t next = 0;
+  };
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    std::vector<Frame> dfs;
+    dfs.push_back({root, successors(root)});
+    index[static_cast<size_t>(root)] = lowlink[static_cast<size_t>(root)] =
+        next_index++;
+    stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      if (frame.next < frame.succ.size()) {
+        const NodeId child = frame.succ[frame.next++];
+        if (index[static_cast<size_t>(child)] == -1) {
+          index[static_cast<size_t>(child)] =
+              lowlink[static_cast<size_t>(child)] = next_index++;
+          stack.push_back(child);
+          on_stack[static_cast<size_t>(child)] = true;
+          dfs.push_back({child, successors(child)});
+        } else if (on_stack[static_cast<size_t>(child)]) {
+          lowlink[static_cast<size_t>(frame.id)] =
+              std::min(lowlink[static_cast<size_t>(frame.id)],
+                       index[static_cast<size_t>(child)]);
+        }
+        continue;
+      }
+      const NodeId done = frame.id;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[static_cast<size_t>(dfs.back().id)] =
+            std::min(lowlink[static_cast<size_t>(dfs.back().id)],
+                     lowlink[static_cast<size_t>(done)]);
+      }
+      if (lowlink[static_cast<size_t>(done)] !=
+          index[static_cast<size_t>(done)]) {
+        continue;
+      }
+      // `done` is an SCC root: pop its component.
+      std::vector<NodeId> component;
+      for (;;) {
+        const NodeId member = stack.back();
+        stack.pop_back();
+        on_stack[static_cast<size_t>(member)] = false;
+        component.push_back(member);
+        if (member == done) break;
+      }
+      const bool self_loop =
+          component.size() == 1 &&
+          [&] {
+            const auto succ = successors(component[0]);
+            return std::find(succ.begin(), succ.end(), component[0]) !=
+                   succ.end();
+          }();
+      if (component.size() < 2 && !self_loop) continue;
+      std::string members;
+      std::sort(component.begin(), component.end());
+      for (size_t i = 0; i < component.size() && i < 8; ++i) {
+        if (i > 0) members += ", ";
+        members += "'" + circuit.node(component[i]).name + "'";
+      }
+      if (component.size() > 8) {
+        members += ", ... (" + std::to_string(component.size()) + " nodes)";
+      }
+      AddFinding(circuit, component[0], options, out,
+                 "combinational cycle: " + members);
+    }
+  }
+}
+
+// ---- floating: nets that drive nothing -----------------------------
+void PassFloating(const Circuit& circuit, const LintOptions& options,
+                  core::DiagnosticList& out) {
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (node.kind == NodeKind::kOutput || !node.fanout.empty()) continue;
+    const char* what = node.kind == NodeKind::kInput  ? "primary input"
+                       : node.kind == NodeKind::kDff  ? "register"
+                       : IsGate(node.kind)            ? "gate output"
+                                                      : "constant";
+    AddFinding(circuit, id, options, out,
+               std::string("floating net: ") + what + " '" + node.name +
+                   "' drives nothing");
+  }
+}
+
+/// Forward closure over fanout edges (DFFs pass through) from `seeds`.
+std::vector<bool> ReachableForward(const Circuit& circuit,
+                                   const std::vector<NodeId>& seeds) {
+  std::vector<bool> reached(static_cast<size_t>(circuit.size()), false);
+  std::vector<NodeId> work;
+  for (NodeId id : seeds) {
+    if (ValidId(circuit, id) && !reached[static_cast<size_t>(id)]) {
+      reached[static_cast<size_t>(id)] = true;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (NodeId sink : circuit.node(id).fanout) {
+      if (ValidId(circuit, sink) && !reached[static_cast<size_t>(sink)]) {
+        reached[static_cast<size_t>(sink)] = true;
+        work.push_back(sink);
+      }
+    }
+  }
+  return reached;
+}
+
+/// Backward closure over fanin edges from `seeds`.
+std::vector<bool> ReachableBackward(const Circuit& circuit,
+                                    const std::vector<NodeId>& seeds) {
+  std::vector<bool> reached(static_cast<size_t>(circuit.size()), false);
+  std::vector<NodeId> work;
+  for (NodeId id : seeds) {
+    if (ValidId(circuit, id) && !reached[static_cast<size_t>(id)]) {
+      reached[static_cast<size_t>(id)] = true;
+      work.push_back(id);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    for (NodeId driver : circuit.node(id).fanin) {
+      if (ValidId(circuit, driver) && !reached[static_cast<size_t>(driver)]) {
+        reached[static_cast<size_t>(driver)] = true;
+        work.push_back(driver);
+      }
+    }
+  }
+  return reached;
+}
+
+// ---- unobservable: logic with no path to any primary output --------
+//
+// The floating pass already covers fanout-free nets; this one flags
+// the subtler case of logic that drives *something* yet reaches no
+// output — every fault on it is structurally undetectable (the
+// sequential observability SO of these nets is infinite).
+void PassUnobservable(const Circuit& circuit, const LintOptions& options,
+                      core::DiagnosticList& out) {
+  const auto observable = ReachableBackward(circuit, circuit.outputs());
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (observable[static_cast<size_t>(id)] || node.fanout.empty() ||
+        node.kind == NodeKind::kOutput) {
+      continue;
+    }
+    AddFinding(circuit, id, options, out,
+               "structurally unobservable: no path from '" + node.name +
+                   "' to any primary output");
+  }
+}
+
+// ---- uncontrollable: logic no primary input or constant reaches ----
+//
+// Typically a register loop feeding only itself: its power-up value is
+// the only thing it will ever hold, so every fault on it is
+// undetectable and its SCOAP controllabilities are infinite.
+void PassUncontrollable(const Circuit& circuit, const LintOptions& options,
+                        core::DiagnosticList& out) {
+  std::vector<NodeId> sources = circuit.inputs();
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const NodeKind kind = circuit.node(id).kind;
+    if (kind == NodeKind::kConst0 || kind == NodeKind::kConst1) {
+      sources.push_back(id);
+    }
+  }
+  const auto controllable = ReachableForward(circuit, sources);
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (controllable[static_cast<size_t>(id)] ||
+        node.kind == NodeKind::kInput || node.kind == NodeKind::kOutput ||
+        node.fanin.empty()) {
+      continue;
+    }
+    AddFinding(circuit, id, options, out,
+               "structurally uncontrollable: no primary input or constant "
+               "reaches '" +
+                   node.name + "'");
+  }
+}
+
+// ---- const-dead: gates whose output is a propagated constant -------
+//
+// Ternary fixed point seeded by CONST0/CONST1 nodes; DFFs propagate
+// their data value (steady-state semantics: one frame after D settles
+// to a constant, Q holds it forever).  Starting from X, values move
+// X -> {0,1} at most once, so the sweep converges.
+void PassConstDead(const Circuit& circuit, const LintOptions& options,
+                   core::DiagnosticList& out) {
+  constexpr char kX = 0, k0 = 1, k1 = 2;
+  std::vector<char> value(static_cast<size_t>(circuit.size()), kX);
+  auto eval = [&](const Node& node) -> char {
+    auto in = [&](size_t pin) {
+      const NodeId driver = node.fanin[pin];
+      return ValidId(circuit, driver) ? value[static_cast<size_t>(driver)]
+                                      : kX;
+    };
+    switch (node.kind) {
+      case NodeKind::kConst0:
+        return k0;
+      case NodeKind::kConst1:
+        return k1;
+      case NodeKind::kInput:
+        return kX;
+      case NodeKind::kOutput:
+      case NodeKind::kDff:
+      case NodeKind::kBuf:
+        return node.fanin.empty() ? kX : in(0);
+      case NodeKind::kNot:
+        return node.fanin.empty() ? kX
+               : in(0) == k0      ? k1
+               : in(0) == k1      ? k0
+                                  : kX;
+      case NodeKind::kAnd:
+      case NodeKind::kNand:
+      case NodeKind::kOr:
+      case NodeKind::kNor: {
+        const bool or_like =
+            node.kind == NodeKind::kOr || node.kind == NodeKind::kNor;
+        const char dominant = or_like ? k1 : k0;
+        bool all_known = !node.fanin.empty();
+        char result = kX;
+        for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+          if (in(pin) == dominant) result = dominant;
+          if (in(pin) == kX) all_known = false;
+        }
+        if (result == kX && all_known) {
+          result = dominant == k0 ? k1 : k0;  // no dominant input seen
+        }
+        if (result == kX) return kX;
+        const bool invert =
+            node.kind == NodeKind::kNand || node.kind == NodeKind::kNor;
+        return invert ? (result == k0 ? k1 : k0) : result;
+      }
+      case NodeKind::kXor:
+      case NodeKind::kXnor: {
+        bool parity = node.kind == NodeKind::kXnor;  // even parity = 1
+        for (size_t pin = 0; pin < node.fanin.size(); ++pin) {
+          if (in(pin) == kX) return kX;
+          parity ^= (in(pin) == k1);
+        }
+        return node.fanin.empty() ? kX : (parity ? k1 : k0);
+      }
+    }
+    return kX;
+  };
+  // X -> determined transitions only, so |nodes| sweeps is a safe cap.
+  bool changed = true;
+  for (int sweep = 0; changed && sweep <= circuit.size(); ++sweep) {
+    changed = false;
+    for (NodeId id = 0; id < circuit.size(); ++id) {
+      const char next = eval(circuit.node(id));
+      if (next != kX && value[static_cast<size_t>(id)] == kX) {
+        value[static_cast<size_t>(id)] = next;
+        changed = true;
+      }
+    }
+  }
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const Node& node = circuit.node(id);
+    if (!IsGate(node.kind) || value[static_cast<size_t>(id)] == kX) continue;
+    AddFinding(circuit, id, options, out,
+               "constant-propagation-dead gate: '" + node.name +
+                   "' always evaluates to " +
+                   (value[static_cast<size_t>(id)] == k1 ? "1" : "0") +
+                   " in steady state");
+  }
+}
+
+// ---- x-sources: power-up X that no input can ever overwrite --------
+//
+// A DFF with no global reset powers up X.  If no primary input or
+// constant reaches its data cone, the X is permanent; this pass
+// reports each primary output such a permanent X can reach, because
+// those outputs can never be fully predicted by any test.
+void PassXSources(const Circuit& circuit, const LintOptions& options,
+                  core::DiagnosticList& out) {
+  std::vector<NodeId> sources = circuit.inputs();
+  for (NodeId id = 0; id < circuit.size(); ++id) {
+    const NodeKind kind = circuit.node(id).kind;
+    if (kind == NodeKind::kConst0 || kind == NodeKind::kConst1) {
+      sources.push_back(id);
+    }
+  }
+  const auto controllable = ReachableForward(circuit, sources);
+  std::vector<NodeId> permanent_x;
+  for (NodeId id : circuit.dffs()) {
+    if (!controllable[static_cast<size_t>(id)]) permanent_x.push_back(id);
+  }
+  if (permanent_x.empty()) return;
+  const auto tainted = ReachableForward(circuit, permanent_x);
+  for (NodeId id : circuit.outputs()) {
+    if (!tainted[static_cast<size_t>(id)]) continue;
+    // Name one witness register for the message.
+    std::string witness;
+    for (NodeId dff : permanent_x) {
+      const auto from = ReachableForward(circuit, {dff});
+      if (from[static_cast<size_t>(id)]) {
+        witness = circuit.node(dff).name;
+        break;
+      }
+    }
+    AddFinding(circuit, id, options, out,
+               "permanent X source: output '" + circuit.node(id).name +
+                   "' observes the power-up value of register '" + witness +
+                   "', which no input sequence can overwrite");
+  }
+}
+
+}  // namespace
+
+const std::vector<LintPass>& AllLintPasses() {
+  static const std::vector<LintPass> kPasses = {
+      {"comb-cycles", "combinational cycles (Tarjan SCC, full membership)",
+       PassCombCycles},
+      {"floating", "nets that drive nothing", PassFloating},
+      {"unobservable", "logic with no path to any primary output",
+       PassUnobservable},
+      {"uncontrollable", "logic no primary input or constant reaches",
+       PassUncontrollable},
+      {"const-dead", "gates constant under ternary propagation",
+       PassConstDead},
+      {"x-sources", "power-up X reaching outputs with no overwrite path",
+       PassXSources},
+  };
+  return kPasses;
+}
+
+LintResult RunLint(const netlist::Circuit& circuit,
+                   const LintOptions& options) {
+  RETEST_SCOPED_TIMER(timer, "analyze.lint_ms", "analyze",
+                      "wall time of one lint run (all selected passes)");
+  LintResult result;
+  for (const LintPass& pass : AllLintPasses()) {
+    if (!options.passes.empty() &&
+        std::find(options.passes.begin(), options.passes.end(), pass.name) ==
+            options.passes.end()) {
+      continue;
+    }
+    const size_t before = result.diagnostics.size();
+    pass.run(circuit, options, result.diagnostics);
+    result.findings_per_pass.emplace_back(
+        std::string(pass.name),
+        static_cast<int>(result.diagnostics.size() - before));
+  }
+  if (!options.passes.empty()) {
+    for (const std::string& name : options.passes) {
+      const bool known =
+          std::any_of(AllLintPasses().begin(), AllLintPasses().end(),
+                      [&](const LintPass& pass) { return pass.name == name; });
+      if (!known) throw std::invalid_argument("unknown lint pass: " + name);
+    }
+  }
+  RETEST_COUNTER_ADD("analyze.lint.runs", "runs", "analyze",
+                     "lint invocations", 1);
+  RETEST_COUNTER_ADD("analyze.lint.findings", "findings", "analyze",
+                     "total lint findings emitted",
+                     static_cast<long>(result.diagnostics.size()));
+  return result;
+}
+
+}  // namespace retest::analyze

@@ -1,0 +1,68 @@
+// Static netlist lint: a registry of named passes over a
+// netlist::Circuit, each emitting line-anchored core/status
+// Diagnostics.
+//
+// netlist/check validates the *representation* (arities, fanout
+// mirrors, combinational acyclicity) and gates every downstream
+// engine; the lint passes sit above it and flag circuits that are
+// well-formed but structurally untestable or degenerate — dangling
+// nets, logic no input can control or no output can observe,
+// constant-propagation-dead gates, and power-up X sources that reach
+// primary outputs.  These are precisely the structures that show up
+// as untestable faults in ATPG (docs/ANALYSIS.md catalogues each pass
+// with its paper motivation).
+//
+// When the circuit came from a .bench file, pass the parser's
+// definition-line map so every finding is anchored to the source line
+// that defined the offending net.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "netlist/circuit.h"
+
+namespace retest::analyze {
+
+/// Options shared by every lint pass.
+struct LintOptions {
+  /// Diagnostic source label (a file name, or the default "lint").
+  std::string source = "lint";
+  /// Net name -> 1-based definition line (BenchParseResult::
+  /// definition_lines).  Findings on unknown nets anchor to line 0.
+  const std::unordered_map<std::string, int>* definition_lines = nullptr;
+  /// Restrict to these pass names; empty means every registered pass.
+  std::vector<std::string> passes;
+};
+
+/// Everything a lint run produces: the findings plus per-pass counts
+/// (a pass that ran clean still appears, with zero findings).
+struct LintResult {
+  core::DiagnosticList diagnostics;
+  std::vector<std::pair<std::string, int>> findings_per_pass;
+
+  bool clean() const { return diagnostics.ok(); }
+};
+
+/// One registered pass.
+struct LintPass {
+  std::string_view name;     ///< Stable id ("comb-cycles", "floating", ...).
+  std::string_view summary;  ///< One-line description (CLI --list).
+  void (*run)(const netlist::Circuit& circuit, const LintOptions& options,
+              core::DiagnosticList& out);
+};
+
+/// The pass registry, in canonical execution order.
+const std::vector<LintPass>& AllLintPasses();
+
+/// Runs the selected passes over `circuit`.  The circuit does not need
+/// to pass netlist::Check first: passes tolerate (and some re-report,
+/// with better anchoring) representation-level damage.  Throws only on
+/// an unknown pass name in `options.passes`.
+LintResult RunLint(const netlist::Circuit& circuit,
+                   const LintOptions& options = {});
+
+}  // namespace retest::analyze

@@ -11,6 +11,8 @@ std::string_view ToString(StatusCode code) {
     case StatusCode::kCorruptData: return "corrupt_data";
     case StatusCode::kMismatch: return "mismatch";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kLintFinding: return "lint_finding";
+    case StatusCode::kCertifyRefused: return "certify_refused";
     case StatusCode::kInternal: return "internal";
   }
   return "?";

@@ -65,6 +65,19 @@ class Parser {
     ScanLines(in);
     ValidateNames();
     BenchParseResult result;
+    // Node-name anchors for downstream tools (analyze/lint): gates and
+    // inputs define their own net; an OUTPUT statement defines the
+    // synthetic "$po" pin node.  First definition wins, matching the
+    // duplicate-definition diagnostic above.
+    for (const PortRef& input : inputs_) {
+      result.definition_lines.emplace(input.name, input.line);
+    }
+    for (const PendingGate& gate : gates_) {
+      result.definition_lines.emplace(gate.name, gate.line);
+    }
+    for (const PortRef& output : outputs_) {
+      result.definition_lines.emplace(output.name + "$po", output.line);
+    }
     if (diags_.ok()) BuildCircuit(result);
     result.diagnostics = std::move(diags_);
     if (!result.diagnostics.ok()) {

@@ -24,6 +24,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "core/status.h"
 #include "netlist/circuit.h"
@@ -35,6 +36,11 @@ namespace retest::netlist {
 struct BenchParseResult {
   std::optional<Circuit> circuit;
   core::DiagnosticList diagnostics;
+  /// Net name -> 1-based source line of its defining statement
+  /// (INPUT/OUTPUT/gate).  Populated even on a failed parse, for
+  /// whatever did scan; analyze/lint uses it to anchor findings to the
+  /// .bench line that defined the offending net.
+  std::unordered_map<std::string, int> definition_lines;
 
   bool ok() const { return circuit.has_value(); }
 };
