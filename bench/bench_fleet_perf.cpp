@@ -1,0 +1,271 @@
+// Fleet-scheduler performance harness (core/fleet, docs/FLEET.md).
+//
+// Workload: the Table II circuit pairs, one fleet job per pair.  Each
+// job synthesizes its pair and runs the fixed-limit quick ATPG config
+// on both circuits (bounded backtracks, no wall-clock budget, one
+// thread) -- so every run of a pair does bit-identical work and the
+// only variable is scheduling.
+//
+// Measured:
+//   serial      the pre-fleet baseline: the same jobs in a plain loop
+//   fleet@W     all pairs submitted to a W-worker fleet, WaitAll
+// for W in a small scaling ladder.  Every fleet run's per-pair results
+// are cross-checked against the serial baseline (status sets, test
+// lists, evaluation counters) -- the "1 vs N concurrent jobs" fleet
+// determinism claim -- and the harness fails loudly on a mismatch.
+//
+// Emits BENCH_fleet.json (per-job times, worker scaling, steal and
+// utilization stats, speedup_fleet_vs_serial) into the current
+// directory.  On a single-CPU host the fleet still runs 4 workers so
+// work-stealing is exercised, but wall-clock speedup is impossible;
+// the "cpus" field records the host so readers weight the numbers
+// (the >= 3x sweep-throughput target applies at 4+ cores).
+//
+// Modes:
+//   (default)   all 16 variants
+//   --smoke     2 variants, scaling {1,4} (ctest budget); exit code is
+//               the determinism verdict
+// REPRO_THREADS=N overrides the fleet worker count.
+//
+// Robustness (docs/ROBUSTNESS.md): a failure mid-sweep still flushes
+// the finished data with an "error" field.  Exit codes: 0 ok,
+// 1 determinism mismatch, 2 fatal before any data, 3 partial,
+// 4 JSON unwritable.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "core/fleet.h"
+#include "core/metrics.h"
+#include "core/thread_pool.h"
+#include "experiments.h"
+
+namespace {
+
+using namespace retest;
+
+// A budget the bounded per-fault limits never reach: every run must
+// complete, or "speedup" would just measure the budget cap.
+constexpr long kBudgetMs = 600'000;
+
+/// Fixed-limit quick pass (bench_atpg_perf's model-reuse workload):
+/// deterministic work independent of wall clock and thread count.
+atpg::AtpgOptions QuickOptions() {
+  atpg::AtpgOptions options;
+  options.style = atpg::AtpgStyle::kForwardIla;
+  options.random_rounds = 0;
+  options.backtracks_per_fault = 2;
+  options.max_frames = 16;
+  options.redundancy_check = false;
+  options.time_budget_ms = kBudgetMs;
+  return options;
+}
+
+/// One job's output: both ATPG results plus its own run time.
+struct PairResult {
+  std::string name;
+  atpg::AtpgResult original;
+  atpg::AtpgResult retimed;
+  double ms = 0;
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The job body: synthesize the pair, ATPG both circuits inside
+/// `thread_budget` threads.  Identical inputs at any budget <= the
+/// engine's determinism envelope give identical results.
+PairResult RunPair(const bench::Variant& variant, int thread_budget) {
+  const double start = NowMs();
+  const bench::Prepared prepared = bench::PrepareVariant(variant);
+  atpg::AtpgOptions options = QuickOptions();
+  options.num_threads = thread_budget;
+  PairResult result;
+  result.name = prepared.original.name();
+  result.original = atpg::RunAtpg(prepared.original, options);
+  result.retimed = atpg::RunAtpg(prepared.retimed, options);
+  result.ms = NowMs() - start;
+  return result;
+}
+
+bool SameResults(const atpg::AtpgResult& a, const atpg::AtpgResult& b) {
+  return a.status == b.status && a.tests == b.tests &&
+         a.evaluations == b.evaluations;
+}
+
+bool SamePair(const PairResult& a, const PairResult& b) {
+  return a.name == b.name && SameResults(a.original, b.original) &&
+         SameResults(a.retimed, b.retimed);
+}
+
+/// One fleet sweep over `variants` with `num_workers` workers; fills
+/// `results` (paper order) and returns the WaitAll wall time in ms.
+double FleetSweep(const std::vector<bench::Variant>& variants, int num_workers,
+                  std::vector<PairResult>& results, core::FleetStats* stats) {
+  core::FleetOptions fleet_options;
+  fleet_options.num_workers = num_workers;
+  core::Fleet fleet(fleet_options);
+  results.assign(variants.size(), PairResult{});
+  const double start = NowMs();
+  std::vector<std::size_t> ids;
+  ids.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    core::JobOptions job;
+    job.name = variants[i].fsm;
+    job.thread_budget = 1;
+    ids.push_back(fleet.Submit(job, [&, i](const core::JobContext& ctx) {
+      results[i] = RunPair(variants[i], ctx.thread_budget);
+    }));
+  }
+  for (std::size_t id : ids) fleet.Wait(id);  // Rethrows job failures.
+  const double ms = NowMs() - start;
+  if (stats) *stats = fleet.Stats();
+  return ms;
+}
+
+struct ScalingPoint {
+  int workers = 0;
+  double ms = 0;
+};
+
+bool EmitJson(const std::vector<PairResult>& serial, double serial_ms,
+              double fleet_ms, int fleet_workers,
+              const std::vector<ScalingPoint>& scaling,
+              const core::FleetStats& stats, bool identical, bool smoke,
+              const std::string& error) {
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+    return false;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  if (!error.empty()) {
+    std::fprintf(f, "  \"error\": \"%s\",\n", bench::JsonEscape(error).c_str());
+  }
+  std::fprintf(f, "  \"cpus\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"fleet_workers\": %d,\n", fleet_workers);
+  std::fprintf(f, "  \"jobs\": [\n");
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"serial_ms\": %.3f}%s\n",
+                 serial[i].name.c_str(), serial[i].ms,
+                 i + 1 < serial.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"serial_ms\": %.3f,\n  \"fleet_ms\": %.3f,\n",
+               serial_ms, fleet_ms);
+  std::fprintf(f, "  \"speedup_fleet_vs_serial\": %.2f,\n",
+               fleet_ms > 0 ? serial_ms / fleet_ms : 0);
+  std::fprintf(f, "  \"worker_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::fprintf(f, "    {\"workers\": %d, \"ms\": %.3f}%s\n",
+                 scaling[i].workers, scaling[i].ms,
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"stats\": {\"submitted\": %ld, \"completed\": %ld, "
+               "\"steals\": %ld, \"busy_ms\": %.1f, \"wall_ms\": %.1f, "
+               "\"utilization\": %.3f},\n",
+               stats.submitted, stats.completed, stats.steals, stats.busy_ms,
+               stats.wall_ms, stats.utilization);
+  std::fprintf(f, "  \"identical_results\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"metrics\": %s\n}\n", core::metrics::ToJson(2).c_str());
+  return std::fclose(f) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  // Pin 4 workers on a single-CPU host (REPRO_THREADS overrides) so
+  // the stealing/determinism checks exercise real concurrency even
+  // where wall-clock speedup is impossible.
+  const int fleet_workers = core::ResolveThreadCount(0) > 1
+                                ? core::ResolveThreadCount(0)
+                                : 4;
+  const auto& all_variants = bench::Table2Variants();
+  std::vector<bench::Variant> variants(
+      all_variants.begin(),
+      smoke ? all_variants.begin() + 2 : all_variants.end());
+
+  std::printf("fleet scheduler perf (%zu pairs, fleet_workers=%d%s)\n",
+              variants.size(), fleet_workers, smoke ? ", --smoke" : "");
+
+  std::vector<PairResult> serial;
+  double serial_ms = 0;
+  double fleet_ms = 0;
+  std::vector<ScalingPoint> scaling;
+  core::FleetStats stats;
+  bool identical = true;
+  std::string error;
+  try {
+    // Serial baseline: the pre-fleet sequential sweep.
+    serial.reserve(variants.size());
+    const double serial_start = NowMs();
+    for (const auto& variant : variants) {
+      serial.push_back(RunPair(variant, /*thread_budget=*/1));
+    }
+    serial_ms = NowMs() - serial_start;
+    std::printf("  %-10s %9.1f ms\n", "serial", serial_ms);
+
+    // Fleet sweeps across the worker ladder; every sweep must
+    // reproduce the serial results bit-for-bit.
+    std::vector<int> ladder = smoke ? std::vector<int>{1, 4}
+                                    : std::vector<int>{1, 2, 4};
+    if (fleet_workers > 4) ladder.push_back(fleet_workers);
+    for (int workers : ladder) {
+      std::vector<PairResult> fleet_results;
+      core::FleetStats sweep_stats;
+      const double ms =
+          FleetSweep(variants, workers, fleet_results, &sweep_stats);
+      scaling.push_back({workers, ms});
+      for (std::size_t i = 0; i < variants.size(); ++i) {
+        if (!SamePair(serial[i], fleet_results[i])) {
+          identical = false;
+          std::fprintf(stderr, "fleet@%d: %s differs from serial\n", workers,
+                       fleet_results[i].name.c_str());
+        }
+      }
+      if (workers == ladder.back()) {
+        fleet_ms = ms;
+        stats = sweep_stats;
+      }
+      std::printf("  fleet@%-3d  %9.1f ms  (steals %ld, util %.2f)%s\n",
+                  workers, ms, sweep_stats.steals, sweep_stats.utilization,
+                  identical ? "" : "  MISMATCH");
+      std::fflush(stdout);
+    }
+    std::printf("speedup fleet@%d vs serial: %.2fx\n", scaling.back().workers,
+                fleet_ms > 0 ? serial_ms / fleet_ms : 0);
+  } catch (const std::exception& e) {
+    error = e.what();
+    std::fprintf(stderr, "bench_fleet_perf: %s\n", error.c_str());
+  }
+
+  const bool wrote = EmitJson(serial, serial_ms, fleet_ms, fleet_workers,
+                              scaling, stats, identical, smoke, error);
+  if (wrote) {
+    std::printf("wrote BENCH_fleet.json (%zu jobs%s)\n", serial.size(),
+                error.empty() ? "" : ", partial");
+  }
+  if (!wrote) return bench::kExitJsonWriteFailure;
+  if (!error.empty()) {
+    return serial.empty() ? bench::kExitFatal : bench::kExitPartial;
+  }
+  if (!identical) {
+    std::fprintf(stderr, "DETERMINISM MISMATCH: fleet differs from serial\n");
+    return bench::kExitDeterminismMismatch;
+  }
+  return bench::kExitOk;
+}

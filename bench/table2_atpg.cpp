@@ -18,6 +18,13 @@
 // per-circuit ATPG checkpoint journals so an interrupted sweep resumes
 // instead of restarting; REPRO_DEADLINE_MS / REPRO_FAULT_TIMEOUT_MS
 // bound each ATPG call via the engine's watchdog.
+//
+// Scheduling: the sixteen pairs are submitted as independent jobs to
+// the core/fleet work-stealing scheduler (docs/FLEET.md) instead of a
+// sequential loop — one fleet worker per hardware thread (REPRO_THREADS
+// overrides), one ATPG thread per job, so a multi-core host overlaps
+// whole circuit pairs without oversubscription.  Rows are collected
+// and printed in paper order regardless of completion order.
 #include <cmath>
 #include <cstdio>
 #include <exception>
@@ -26,6 +33,7 @@
 
 #include "analyze/certify.h"
 #include "analyze/scoap.h"
+#include "core/fleet.h"
 #include "core/metrics.h"
 #include "experiments.h"
 
@@ -90,15 +98,21 @@ bool EmitJson(const std::vector<Row>& rows, double geomean_ratio,
   return std::fclose(f) == 0;
 }
 
-/// Synthesizes, retimes and runs ATPG on one Table II variant;
-/// checkpoint journals are written per circuit when
+/// Synthesizes, retimes and runs ATPG on one Table II variant as one
+/// fleet job; the job's thread budget bounds each ATPG's internal
+/// parallelism and its deadline (when set) flows into the engine
+/// watchdog.  Checkpoint journals are written per circuit when
 /// REPRO_CHECKPOINT_DIR is set.  Throws on any pipeline failure.
 Row MeasurePair(const retest::bench::Variant& variant, long original_budget,
-                long retimed_budget) {
+                long retimed_budget, const retest::core::JobContext& ctx) {
   using namespace retest;
   const bench::Prepared prepared = bench::PrepareVariant(variant);
   auto original_options = bench::Table2AtpgOptions(original_budget);
   auto retimed_options = bench::Table2AtpgOptions(retimed_budget);
+  original_options.num_threads = ctx.thread_budget;
+  retimed_options.num_threads = ctx.thread_budget;
+  original_options.deadline_ms = ctx.deadline_ms;
+  retimed_options.deadline_ms = ctx.deadline_ms;
   original_options.checkpoint_path =
       bench::CheckpointPathFor(prepared.original.name() + ".original");
   retimed_options.checkpoint_path =
@@ -146,6 +160,12 @@ Row MeasurePair(const retest::bench::Variant& variant, long original_budget,
                  row.name.c_str(), cert.certificate.prefix_length,
                  prepared.moves.prefix_length());
   }
+  return row;
+}
+
+/// Stdout reporting, separated from measurement: jobs complete out of
+/// order, the table prints in paper order at collection time.
+void PrintRow(const Row& row) {
   std::printf("%-12s | %5d %6.1f %6.1f %9ld | %5d %6.1f %6.1f %9ld | %8.1fx\n",
               row.name.c_str(), row.original_dffs, row.original_fc,
               row.original_fe, row.original_cpu_ms, row.retimed_dffs,
@@ -155,7 +175,6 @@ Row MeasurePair(const retest::bench::Variant& variant, long original_budget,
       row.original_scoap.sequential_cost, row.retimed_scoap.sequential_cost,
       row.certified ? "certified" : "NOT certified", row.certified_prefix);
   std::fflush(stdout);
-  return row;
 }
 
 }  // namespace
@@ -173,20 +192,42 @@ int main() {
               "#DFF", "%FC", "%FE", "#CPU", "#DFF", "%FC", "%FE", "#CPU",
               "CPU Ratio");
 
+  // Submit every pair to the fleet; collect (and print) in paper
+  // order.  Like the old sequential loop, the first failing pair ends
+  // the table there -- the concurrently finished later pairs are
+  // dropped so the JSON's "finished rows + error" shape is unchanged.
+  const auto& variants = bench::Table2Variants();
+  core::Fleet fleet;
+  std::vector<Row> row_slots(variants.size());
+  std::vector<std::size_t> job_ids;
+  job_ids.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    core::JobOptions job;
+    job.name = variants[i].fsm;
+    job.thread_budget = 1;
+    job_ids.push_back(fleet.Submit(job, [&, i](const core::JobContext& ctx) {
+      row_slots[i] =
+          MeasurePair(variants[i], original_budget, retimed_budget, ctx);
+    }));
+  }
+
   std::vector<Row> rows;
   std::string error;
   double ratio_product = 1.0;
-  for (const auto& variant : bench::Table2Variants()) {
+  for (std::size_t i = 0; i < variants.size(); ++i) {
     try {
-      const Row row = MeasurePair(variant, original_budget, retimed_budget);
+      fleet.Wait(job_ids[i]);
+      const Row& row = row_slots[i];
+      PrintRow(row);
       ratio_product *= row.ratio > 0 ? row.ratio : 1.0;
       rows.push_back(row);
     } catch (const std::exception& e) {
-      error = std::string(variant.fsm) + ": " + e.what();
+      error = std::string(variants[i].fsm) + ": " + e.what();
       std::fprintf(stderr, "table2: %s\n", error.c_str());
       break;
     }
   }
+  fleet.WaitAll();
   double geomean = 0;
   if (!rows.empty()) {
     geomean = std::pow(ratio_product, 1.0 / static_cast<double>(rows.size()));

@@ -18,11 +18,16 @@
 // 0 ok, 2 fatal-before-rows, 3 partial, 4 output unwritable.
 // REPRO_CHECKPOINT_DIR enables per-circuit ATPG checkpoint journals
 // for the test-set generation step.
+//
+// Scheduling: like table2_atpg, all sixteen pairs are submitted as
+// fleet jobs (core/fleet, docs/FLEET.md) with a one-thread budget per
+// job; the table prints in paper order at collection time.
 #include <cstdio>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "core/fleet.h"
 #include "core/metrics.h"
 #include "core/preserve.h"
 #include "core/testset.h"
@@ -71,15 +76,19 @@ bool EmitJson(const std::vector<Row>& rows, long budget,
 }
 
 /// Generates the original test set, derives the retimed one
-/// (Theorem 4) and fault-simulates both.  Throws on any pipeline
-/// failure; checkpoint journals cover the ATPG step when
+/// (Theorem 4) and fault-simulates both, confining ATPG and PROOFS
+/// parallelism to the fleet job's thread budget.  Throws on any
+/// pipeline failure; checkpoint journals cover the ATPG step when
 /// REPRO_CHECKPOINT_DIR is set.
-Row MeasurePair(const retest::bench::Variant& variant, long budget) {
+Row MeasurePair(const retest::bench::Variant& variant, long budget,
+                const retest::core::JobContext& ctx) {
   using namespace retest;
   const bench::Prepared prepared = bench::PrepareVariant(variant);
 
   // Generate the original circuit's test set.
   auto atpg_options = bench::TestSetAtpgOptions(budget);
+  atpg_options.num_threads = ctx.thread_budget;
+  atpg_options.deadline_ms = ctx.deadline_ms;
   atpg_options.checkpoint_path =
       bench::CheckpointPathFor(prepared.original.name() + ".testset");
   const auto atpg_result = atpg::RunAtpg(prepared.original, atpg_options);
@@ -92,15 +101,17 @@ Row MeasurePair(const retest::bench::Variant& variant, long budget) {
   const core::TestSet derived = core::DeriveRetimedTestSet(
       test_set, prefix, prepared.original.num_inputs());
 
-  // Fault simulate both.
+  // Fault simulate both, inside the job's thread budget.
+  faultsim::ProofsOptions sim_options;
+  sim_options.num_threads = ctx.thread_budget;
   const auto original_faults = fault::Collapse(prepared.original);
   const auto retimed_faults = fault::Collapse(prepared.retimed);
   const auto original_sim = faultsim::SimulateProofs(
       prepared.original, original_faults.representatives,
-      test_set.Concatenated());
+      test_set.Concatenated(), sim_options);
   const auto retimed_sim = faultsim::SimulateProofs(
-      prepared.retimed, retimed_faults.representatives,
-      derived.Concatenated());
+      prepared.retimed, retimed_faults.representatives, derived.Concatenated(),
+      sim_options);
 
   Row row;
   row.name = prepared.original.name();
@@ -113,12 +124,17 @@ Row MeasurePair(const retest::bench::Variant& variant, long budget) {
   row.original_fc = 100.0 * original_sim.num_detected() / row.original_faults;
   row.retimed_fc = 100.0 * retimed_sim.num_detected() / row.retimed_faults;
   row.prefix = prefix;
+  return row;
+}
+
+/// Stdout reporting, separated from measurement: jobs complete out of
+/// order, the table prints in paper order at collection time.
+void PrintRow(const Row& row) {
   std::printf("%-12s | %7d %7d %6.1f | %7d %7d %6.1f | %6d\n",
               row.name.c_str(), row.original_faults, row.original_undetected,
               row.original_fc, row.retimed_faults, row.retimed_undetected,
               row.retimed_fc, row.prefix);
   std::fflush(stdout);
-  return row;
 }
 
 }  // namespace
@@ -134,17 +150,37 @@ int main() {
               "#Faults", "#UnDet", "%FC", "#Faults", "#UnDet", "%FC",
               "Prefix");
 
+  // Submit every pair to the fleet; collect (and print) in paper
+  // order.  Like the old sequential loop, the first failing pair ends
+  // the table there and later rows are dropped.
+  const auto& variants = bench::Table2Variants();
+  core::Fleet fleet;
+  std::vector<Row> row_slots(variants.size());
+  std::vector<std::size_t> job_ids;
+  job_ids.reserve(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    core::JobOptions job;
+    job.name = variants[i].fsm;
+    job.thread_budget = 1;
+    job_ids.push_back(fleet.Submit(job, [&, i](const core::JobContext& ctx) {
+      row_slots[i] = MeasurePair(variants[i], budget, ctx);
+    }));
+  }
+
   std::vector<Row> rows;
   std::string error;
-  for (const auto& variant : bench::Table2Variants()) {
+  for (std::size_t i = 0; i < variants.size(); ++i) {
     try {
-      rows.push_back(MeasurePair(variant, budget));
+      fleet.Wait(job_ids[i]);
+      PrintRow(row_slots[i]);
+      rows.push_back(row_slots[i]);
     } catch (const std::exception& e) {
-      error = std::string(variant.fsm) + ": " + e.what();
+      error = std::string(variants[i].fsm) + ": " + e.what();
       std::fprintf(stderr, "table3: %s\n", error.c_str());
       break;
     }
   }
+  fleet.WaitAll();
   const bool wrote = EmitJson(rows, budget, error);
   if (wrote) {
     std::printf("wrote BENCH_table3.json (%zu rows%s)\n", rows.size(),

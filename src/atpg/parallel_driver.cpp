@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -35,10 +36,18 @@ void FillUnassigned(InputSequence& sequence, Rng& rng) {
 
 /// The speculative result of one fault's deterministic search.
 struct FaultOutcome {
-  bool ready = false;
   FaultStatus status = FaultStatus::kUntried;
   InputSequence test;     ///< Filled when status == kDetected.
   long evaluations = 0;   ///< Work this search performed.
+};
+
+/// One queue position's parking slot.  Exactly one worker writes
+/// `outcome` and then publishes it with a release store to `ready`;
+/// the committer's acquire load pairs with it, so the outcome is read
+/// race-free without any lock on the workers' path.
+struct Slot {
+  std::atomic<bool> ready{false};
+  FaultOutcome outcome;
 };
 
 /// Per-worker reusable models; constructed lazily on the worker's
@@ -59,12 +68,13 @@ class Driver {
         budget_ms_(budget_ms),
         result_(result),
         start_(std::chrono::steady_clock::now()),
-        retired_(remaining.size(), 0),
-        outcomes_(remaining.size()) {
+        retired_(remaining.size()),
+        slots_(remaining.size()) {
     max_frames_ = options.max_frames;
     if (max_frames_ <= 0) {
       max_frames_ = std::clamp(4 * circuit.num_dffs() + 8, 8, 64);
     }
+    for (auto& flag : retired_) flag.store(0, std::memory_order_relaxed);
     if (control != nullptr) {
       journal_ = control->journal;
       fault_timeout_ms_ = control->fault_timeout_ms;
@@ -72,7 +82,8 @@ class Driver {
       for (std::size_t pos = 0;
            pos < control->resume_retired.size() && pos < queue_.size();
            ++pos) {
-        retired_[pos] = control->resume_retired[pos];
+        retired_[pos].store(control->resume_retired[pos],
+                            std::memory_order_relaxed);
       }
     }
   }
@@ -98,11 +109,12 @@ class Driver {
     core::ThreadPool pool(threads);
     pool.ParallelFor(queue_.size() - base, [&](int worker, std::size_t i) {
       const std::size_t item = base + i;
-      bool claimed_retired;
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        claimed_retired = retired_[item] != 0;
-      }
+      // A racy-by-design optimization, exactly as racy as it always
+      // was: whether a worker observes the retirement only decides
+      // whether a speculative search is skipped; the committed result
+      // is fixed at commit time either way.
+      const bool claimed_retired =
+          retired_[item].load(std::memory_order_relaxed) != 0;
       FaultOutcome outcome;  // kUntried: discarded or budget-preempted
       if (claimed_retired) {
         RETEST_COUNTER_ADD("atpg.det.faults_claimed_retired", "faults",
@@ -135,6 +147,10 @@ class Driver {
       }
       Park(item, std::move(outcome));
     });
+    // A park can lose the drain race right at the end of the loop (its
+    // try_lock fails while the holder has already scanned past it);
+    // one blocking drain retires any such leftovers deterministically.
+    DrainFrontier(/*blocking=*/true);
     if (stop_.load(std::memory_order_relaxed)) result_.preempted = true;
     if (watchdog) result_.watchdog_preemptions += watchdog->preemptions();
   }
@@ -271,34 +287,75 @@ class Driver {
     return out;
   }
 
-  /// Parks a speculative result and advances the commit frontier over
-  /// every contiguous ready outcome.  Each frontier advance is a
-  /// consistency point: the journal (when enabled) is flushed here, so
-  /// a crash never loses a committed fault.
+  /// Parks a speculative result and opportunistically services the
+  /// commit frontier.  Parking itself is lock-free (a release store
+  /// into this position's slot); the frontier is then drained by
+  /// whichever single worker wins a try_lock, so the expensive commit
+  /// work -- cross-worker retirement fault simulation and journal
+  /// writes -- never blocks the other workers' searches.  This is the
+  /// fix for the PR-2 scaling collapse, where every worker parked
+  /// through one mutex that the retirement simulation was held under.
   void Park(std::size_t item, FaultOutcome outcome) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    outcomes_[item] = std::move(outcome);
-    outcomes_[item].ready = true;
-    const std::size_t before = frontier_;
-    while (frontier_ < queue_.size() && outcomes_[frontier_].ready) {
-      Commit(frontier_);
-      ++frontier_;
-    }
-    if (journal_ != nullptr && frontier_ > before) {
-      journal_->Flush();
-      RETEST_COUNTER_ADD("atpg.checkpoint.flushes", "flushes", "atpg",
-                         "checkpoint journal flushes at the commit frontier",
-                         1);
+    RETEST_SCOPED_TIMER(wait_timer, "atpg.frontier.wait_ms", "atpg",
+                        "time a worker spends publishing a result and "
+                        "servicing the commit frontier instead of searching");
+    Slot& slot = slots_[item];
+    slot.outcome = std::move(outcome);
+    slot.ready.store(true, std::memory_order_seq_cst);
+    DrainFrontier(/*blocking=*/false);
+  }
+
+  /// Advances the commit frontier over every contiguous ready slot.
+  /// Single-committer: commits happen strictly in queue order under
+  /// commit_mutex_, so the retirement state each commit observes is a
+  /// pure function of the commit prefix -- bit-identical results at
+  /// any thread count.  The journal (when enabled) is flushed once per
+  /// drain batch, off the workers' search path, instead of once per
+  /// frontier advance; a crash loses at most the unflushed tail, which
+  /// journal replay already tolerates.
+  ///
+  /// Non-blocking callers that lose the try_lock return immediately --
+  /// the lock holder will scan their slot, or, if it raced past, the
+  /// post-unlock recheck (or the final blocking drain in Run) picks it
+  /// up.  The seq_cst store in Park and the seq_cst recheck load below
+  /// guarantee at least one of the two parties sees the other.
+  void DrainFrontier(bool blocking) {
+    for (;;) {
+      std::unique_lock<std::mutex> lock(commit_mutex_, std::defer_lock);
+      if (blocking) {
+        lock.lock();
+      } else if (!lock.try_lock()) {
+        return;
+      }
+      std::size_t advanced = 0;
+      while (frontier_ < queue_.size() &&
+             slots_[frontier_].ready.load(std::memory_order_acquire)) {
+        Commit(frontier_);
+        ++frontier_;
+        ++advanced;
+      }
+      if (journal_ != nullptr && advanced > 0) {
+        journal_->Flush();
+        RETEST_COUNTER_ADD("atpg.checkpoint.flushes", "flushes", "atpg",
+                           "checkpoint journal flushes at the commit "
+                           "frontier (one per drain batch)",
+                           1);
+      }
+      const std::size_t next = frontier_;
+      lock.unlock();
+      if (next >= queue_.size()) return;
+      if (!slots_[next].ready.load(std::memory_order_seq_cst)) return;
+      blocking = false;  // someone parked `next` while we held the lock
     }
   }
 
-  /// Applies outcome `pos` in fault order (mutex held).  A fault
-  /// retired by an earlier committed test keeps its kDetected status
-  /// and its speculative result is discarded -- the serial semantics
-  /// of never searching an already-detected fault.
+  /// Applies outcome `pos` in fault order (commit_mutex_ held).  A
+  /// fault retired by an earlier committed test keeps its kDetected
+  /// status and its speculative result is discarded -- the serial
+  /// semantics of never searching an already-detected fault.
   void Commit(std::size_t pos) {
-    FaultOutcome& outcome = outcomes_[pos];
-    if (retired_[pos]) {
+    FaultOutcome& outcome = slots_[pos].outcome;
+    if (retired_[pos].load(std::memory_order_relaxed) != 0) {
       RETEST_COUNTER_ADD("atpg.det.speculation_discarded", "faults", "atpg",
                          "speculative results discarded at commit because "
                          "an earlier test already retired the fault",
@@ -324,7 +381,7 @@ class Driver {
       std::vector<std::size_t> positions;
       targets.reserve(queue_.size() - pos);
       for (std::size_t j = pos + 1; j < queue_.size(); ++j) {
-        if (retired_[j]) continue;
+        if (retired_[j].load(std::memory_order_relaxed) != 0) continue;
         targets.push_back(result_.faults[queue_[j]]);
         positions.push_back(j);
       }
@@ -339,7 +396,7 @@ class Driver {
         committed_evaluations += sim_evaluations;
         for (std::size_t k = 0; k < positions.size(); ++k) {
           if (!sim.detections[k].detected) continue;
-          retired_[positions[k]] = 1;
+          retired_[positions[k]].store(1, std::memory_order_relaxed);
           result_.status[queue_[positions[k]]] = FaultStatus::kDetected;
           cross.push_back(positions[k]);
         }
@@ -388,9 +445,14 @@ class Driver {
   long fault_timeout_ms_ = 0;
 
   std::atomic<bool> stop_{false};
-  std::mutex mutex_;               // guards retired_/outcomes_/frontier_
-  std::vector<char> retired_;      // by queue position
-  std::vector<FaultOutcome> outcomes_;
+  /// Retirement flags by queue position.  Written only by the single
+  /// committer (under commit_mutex_); read lock-free by claiming
+  /// workers as a skip-the-search hint.  Monotonic 0 -> 1.
+  std::vector<std::atomic<std::uint8_t>> retired_;
+  std::vector<Slot> slots_;
+  /// Serializes commit draining; never held while parking or
+  /// searching.  frontier_ is only touched with it held.
+  std::mutex commit_mutex_;
   std::size_t frontier_ = 0;
 };
 

@@ -21,6 +21,17 @@
 // shared atomic stop flag: it preempts queued faults (committed as
 // kUntried) and cooperatively aborts in-flight PODEM searches.
 //
+// Scaling: workers never block on the frontier.  A finished search is
+// *parked* lock-free (release store into the fault's slot); the
+// frontier is then drained by whichever single worker wins a try_lock
+// on the commit mutex, so the heavy commit-path work -- the retirement
+// fault simulation and the checkpoint journal writes/flushes -- runs
+// concurrently with every other worker's searches instead of
+// serializing them.  Journal flushes are batched per drain, keeping
+// durability at the same consistency points with far fewer flushes.
+// The atpg.frontier.wait_ms distribution records what little frontier
+// service time remains on the worker path.
+//
 // tests/atpg_parallel_test.cpp locks the contract in;
 // docs/ARCHITECTURE.md states it alongside the other subsystem
 // invariants.  The phase's atpg.det.* / atpg.justify.* metrics and

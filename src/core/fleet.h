@@ -1,0 +1,189 @@
+// Work-stealing job scheduler — the second parallelism axis.
+//
+// The fault-parallel ATPG driver parallelizes *within* one circuit;
+// the Fleet parallelizes *across* circuits: a whole-benchmark sweep
+// (the Table II/III drivers' sixteen original/retimed pairs, or any
+// batch of ATPG / fault-simulation jobs) is submitted as a set of
+// independent jobs and executed by a fixed pool of fleet workers.
+// This is the batch-throughput substrate the ATPG-as-a-service daemon
+// queues into (ROADMAP item 2).  Design and lifecycle: docs/FLEET.md.
+//
+// Scheduling: each worker owns a deque ordered by job priority
+// (higher first, FIFO within a priority).  Submission distributes
+// jobs round-robin across the deques (or to `worker_hint`); an owner
+// pops from the front of its own deque, and a worker whose deque is
+// empty *steals* from the back of a victim's — so a skewed sweep
+// (one giant retimed circuit next to fifteen quick ones) still keeps
+// every worker busy.  Steals are counted (`fleet.steal.count`), queue
+// depth is sampled per submission (`fleet.queue.depth`), and each
+// executed job is wrapped in a `fleet.job` trace span.
+//
+// Per-job thread budgets: a job body must confine its *internal*
+// parallelism (AtpgOptions::num_threads, ProofsOptions::num_threads)
+// to JobContext::thread_budget, which the fleet clamps to
+// [1, num_workers].  With the default budget of 1 a sweep of N jobs
+// over W workers runs W circuits concurrently, one thread each — no
+// oversubscription, and per-job results stay bit-identical to a
+// serial run because the engines are thread-count deterministic.
+//
+// Deadlines and preemption: JobOptions::deadline_ms and
+// checkpoint_path pass through to the context; an ATPG job body wires
+// them into AtpgOptions::{deadline_ms, checkpoint_path}, so the
+// engine's watchdog (core/watchdog) preempts an overrunning job into
+// clean kUntried commits and the PR-4 journal makes the *checkpoint
+// the unit of preemption and migration*: resubmitting the job (on any
+// worker, any process) resumes from the journal and lands on the
+// bit-identical result of an uninterrupted run.
+//
+// Thread-safety: Submit/Wait/WaitAll/Cancel/Stats may be called from
+// any thread.  Job bodies run on fleet workers; an exception thrown
+// by a body is captured and rethrown by Wait(id).  The destructor
+// drains every queued job, then joins the workers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace retest::core {
+
+/// Fleet construction knobs.
+struct FleetOptions {
+  /// Worker threads; <= 0 means core::ResolveThreadCount's default
+  /// (the REPRO_THREADS env var when set, else hardware concurrency).
+  int num_workers = 0;
+  /// Thread budget granted to jobs that do not request one.
+  int default_thread_budget = 1;
+};
+
+/// Per-job submission knobs.
+struct JobOptions {
+  std::string name;            ///< For spans / diagnostics only.
+  int priority = 0;            ///< Higher runs earlier; FIFO within.
+  int thread_budget = 0;       ///< <= 0: fleet default.  Clamped to
+                               ///< [1, num_workers].
+  long deadline_ms = 0;        ///< Watchdog deadline hook (0 = none).
+  std::string checkpoint_path; ///< Preemption/migration journal ("" = off).
+  int worker_hint = -1;        ///< Preferred worker queue (affinity /
+                               ///< migration target); -1 = round-robin.
+};
+
+/// What a running job body sees.  Pointers reference the fleet-owned
+/// job record and stay valid for the duration of the run.
+struct JobContext {
+  std::size_t job_id = 0;
+  int worker = 0;                ///< Executing fleet worker.
+  int thread_budget = 1;         ///< Granted internal parallelism.
+  long deadline_ms = 0;          ///< To wire into AtpgOptions::deadline_ms.
+  const std::string* name = nullptr;
+  const std::string* checkpoint_path = nullptr;
+  /// Fleet-wide drain flag: set by Cancel(); long-running bodies may
+  /// poll it (e.g. as a PodemOptions::stop) to finish early.
+  const std::atomic<bool>* cancelled = nullptr;
+};
+
+/// Point-in-time scheduler statistics (monotone counters since
+/// construction; utilization is busy-time over workers x wall-time).
+struct FleetStats {
+  long submitted = 0;
+  long completed = 0;   ///< Ran to completion (including failed).
+  long failed = 0;      ///< Completed by throwing.
+  long cancelled = 0;   ///< Skipped unstarted by Cancel().
+  long steals = 0;      ///< Jobs executed off a foreign deque.
+  double busy_ms = 0;   ///< Sum of job run times across workers.
+  double wall_ms = 0;   ///< Since fleet construction.
+  double utilization = 0;
+};
+
+class Fleet {
+ public:
+  using JobFn = std::function<void(const JobContext&)>;
+
+  explicit Fleet(const FleetOptions& options = {});
+  /// Drains every queued job (unless Cancel() ran), then joins.
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Enqueues a job; returns its id (dense, starting at 0).
+  std::size_t Submit(JobOptions options, JobFn fn);
+
+  /// Blocks until job `id` finished (ran, failed or was cancelled);
+  /// rethrows the job's exception if it threw.
+  void Wait(std::size_t id);
+
+  /// Blocks until every submitted job finished.  Does not rethrow;
+  /// use Wait(id) per job for error handling.
+  void WaitAll();
+
+  /// True when job `id` was skipped by Cancel() before it started.
+  bool Cancelled(std::size_t id) const;
+
+  /// Graceful drain: queued jobs that have not started are completed
+  /// as cancelled without running; running jobs see
+  /// JobContext::cancelled and finish on their own terms.
+  void Cancel();
+
+  FleetStats Stats() const;
+
+ private:
+  struct Job {
+    std::size_t id = 0;
+    JobOptions options;
+    JobFn fn;
+    std::atomic<bool> done{false};
+    bool cancelled = false;
+    std::exception_ptr error;
+  };
+  /// One worker's priority deque.  `mutex` is leaf-level: never held
+  /// while running a job or touching another queue.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Job*> jobs;
+  };
+
+  void WorkerLoop(int worker);
+  Job* PopLocal(int worker);
+  Job* StealFrom(int thief);
+  void RunJob(int worker, Job& job, bool stolen);
+  void FinishJob(Job& job);
+
+  const int num_workers_;
+  const int default_thread_budget_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex jobs_mutex_;        ///< Guards jobs_ growth.
+  std::vector<std::unique_ptr<Job>> jobs_;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> queued_{0};   ///< Enqueued, not yet claimed.
+  std::atomic<std::size_t> unfinished_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<long> steals_{0};
+  std::atomic<long> completed_{0};
+  std::atomic<long> failed_{0};
+  std::atomic<long> cancelled_jobs_{0};
+  std::atomic<long> busy_us_{0};
+
+  std::mutex mutex_;                     ///< Sleep/wake + completion.
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace retest::core
