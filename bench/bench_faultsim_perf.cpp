@@ -1,12 +1,14 @@
 // Fault-simulation throughput harness.
 //
-// Times three engines on the Table III circuits (original and retimed
-// stand-in machines): the scalar serial reference, the full-evaluation
-// 64-way PROOFS engine (every node, every frame, one thread), and the
-// cone-restricted multi-threaded engine that is now the default.
-// Emits BENCH_faultsim.json (frames/sec, gate-evals/frame, speedups,
-// thread scaling) into the current directory so the perf trajectory is
-// tracked from PR 1 onward, and cross-checks that all engines agree on
+// Times the fault-sim engines on the Table III circuits (original and
+// retimed stand-in machines): the scalar serial reference, the
+// full-evaluation PROOFS engine (every node, every frame, one thread),
+// the cone-restricted engine at the default lane width, and a lane
+// width sweep of the cone engine (64 / 256 / 512 faults per pass; see
+// docs/SIMD.md).  Emits BENCH_faultsim.json (frames/sec, machine
+// gate-evals/sec, speedups, lane-width x thread-count sweep) into the
+// current directory so the perf trajectory is tracked from PR 1
+// onward, and cross-checks that every engine at every width agrees on
 // every detection before reporting anything.
 //
 // Modes:
@@ -14,7 +16,8 @@
 //   REPRO_FULL=1        all 16 variants
 //   --smoke             1 variant, short sequences (ctest budget);
 //                       exit code is the equivalence verdict
-// REPRO_THREADS=N overrides the default thread count everywhere.
+// REPRO_THREADS=N overrides the default thread count everywhere;
+// REPRO_SIMD=auto|avx512|avx2|off picks the default lane width.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -33,6 +36,7 @@
 #include "fault/collapse.h"
 #include "faultsim/proofs.h"
 #include "faultsim/serial.h"
+#include "sim/simd.h"
 
 namespace {
 
@@ -70,6 +74,7 @@ struct EngineStats {
   double ms = 0;
   long frames = 0;
   long gate_evals = 0;
+  int lanes = 64;
   int detected = 0;
 
   double FramesPerSec() const {
@@ -79,6 +84,15 @@ struct EngineStats {
     return frames > 0 ? static_cast<double>(gate_evals) /
                             static_cast<double>(frames)
                       : 0;
+  }
+  /// Machine-level work rate: each lane-wide node evaluation covers
+  /// `lanes` faulty machines, so this is the honest cross-width
+  /// throughput measure (a wider engine doing fewer, heavier
+  /// evaluations in less wall time scores higher).
+  double GateEvalsPerSec() const {
+    return ms > 0 ? 1000.0 * static_cast<double>(gate_evals) *
+                        static_cast<double>(lanes) / ms
+                  : 0;
   }
 };
 
@@ -90,11 +104,14 @@ struct CircuitReport {
   int sequence_length = 0;
   int serial_faults = 0;  // serial baseline is timed on a capped subset
   double serial_ms = 0;
-  EngineStats full;          // full evaluation, 1 thread (old engine)
-  EngineStats cone_1t;       // cone-restricted, 1 thread
-  EngineStats cone_default;  // cone-restricted, default threads
+  EngineStats full;          // full evaluation, 1 thread, default width
+  EngineStats cone_1t;       // cone-restricted, 1 thread, default width
+  EngineStats cone_default;  // cone-restricted, default threads/width
+  EngineStats width[3];      // cone-restricted, 1 thread, 64/256/512 lanes
   bool equivalent = true;
 };
+
+constexpr int kWidthWords[3] = {1, 4, 8};
 
 EngineStats RunProofs(const netlist::Circuit& circuit,
                       std::span<const fault::Fault> faults,
@@ -109,6 +126,7 @@ EngineStats RunProofs(const netlist::Circuit& circuit,
       reps);
   stats.frames = result.frames_evaluated;
   stats.gate_evals = result.gate_evals;
+  stats.lanes = result.lanes;
   stats.detected = result.num_detected();
   if (out) *out = std::move(result);
   return stats;
@@ -123,9 +141,16 @@ bool SameDetections(const std::vector<faultsim::Detection>& a,
   return true;
 }
 
+struct SweepPoint {
+  int lanes = 64;
+  int threads = 1;
+  double ms = 0;
+  double gate_evals_per_sec = 0;
+};
+
 void EmitJson(const std::vector<CircuitReport>& reports,
-              const std::vector<std::pair<int, double>>& scaling,
-              int default_threads, bool smoke) {
+              const std::vector<SweepPoint>& sweep, int default_threads,
+              int default_lanes, bool smoke) {
   std::FILE* f = std::fopen("BENCH_faultsim.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_faultsim.json\n");
@@ -133,14 +158,24 @@ void EmitJson(const std::vector<CircuitReport>& reports,
   }
   auto engine = [&](const char* key, const EngineStats& s, bool last) {
     std::fprintf(f,
-                 "      \"%s\": {\"ms\": %.3f, \"frames\": %ld, "
+                 "      \"%s\": {\"ms\": %.3f, \"frames\": %ld, \"lanes\": %d, "
                  "\"frames_per_sec\": %.1f, \"gate_evals_per_frame\": %.1f, "
-                 "\"detected\": %d}%s\n",
-                 key, s.ms, s.frames, s.FramesPerSec(), s.GateEvalsPerFrame(),
-                 s.detected, last ? "" : ",");
+                 "\"gate_evals_per_sec\": %.3e, \"detected\": %d}%s\n",
+                 key, s.ms, s.frames, s.lanes, s.FramesPerSec(),
+                 s.GateEvalsPerFrame(), s.GateEvalsPerSec(), s.detected,
+                 last ? "" : ",");
   };
   std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"default_threads\": %d,\n",
                smoke ? "smoke" : "full", default_threads);
+  std::fprintf(f, "  \"cpus\": %u,\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(
+      f, "  \"simd\": {\"policy\": \"%s\", \"default\": \"%s\", "
+         "\"avx2\": %s, \"avx512\": %s},\n",
+      std::string(sim::ToString(sim::DefaultSimdPolicy())).c_str(),
+      sim::DescribeLaneWords(default_lanes / 64).c_str(),
+      sim::CpuHasAvx2() ? "true" : "false",
+      sim::CpuHasAvx512() ? "true" : "false");
   std::fprintf(f, "  \"circuits\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const CircuitReport& r = reports[i];
@@ -155,22 +190,33 @@ void EmitJson(const std::vector<CircuitReport>& reports,
     std::fprintf(f, "     \"engines\": {\n");
     engine("proofs_full_1t", r.full, false);
     engine("proofs_cone_1t", r.cone_1t, false);
-    engine("proofs_cone_default", r.cone_default, true);
+    engine("proofs_cone_default", r.cone_default, false);
+    engine("proofs_cone_w64", r.width[0], false);
+    engine("proofs_cone_w256", r.width[1], false);
+    engine("proofs_cone_w512", r.width[2], true);
     std::fprintf(f, "     },\n");
+    const double w64_rate = r.width[0].GateEvalsPerSec();
     std::fprintf(
         f,
         "     \"speedup_cone_default_vs_full\": %.2f, "
-        "\"speedup_cone_1t_vs_full\": %.2f, \"equivalent\": %s}%s\n",
+        "\"speedup_cone_1t_vs_full\": %.2f,\n"
+        "     \"gate_eval_rate_w256_vs_w64\": %.2f, "
+        "\"gate_eval_rate_w512_vs_w64\": %.2f, \"equivalent\": %s}%s\n",
         r.cone_default.ms > 0 ? r.full.ms / r.cone_default.ms : 0,
         r.cone_1t.ms > 0 ? r.full.ms / r.cone_1t.ms : 0,
+        w64_rate > 0 ? r.width[1].GateEvalsPerSec() / w64_rate : 0,
+        w64_rate > 0 ? r.width[2].GateEvalsPerSec() / w64_rate : 0,
         r.equivalent ? "true" : "false",
         i + 1 < reports.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"thread_scaling\": [\n");
-  for (size_t i = 0; i < scaling.size(); ++i) {
-    std::fprintf(f, "    {\"threads\": %d, \"ms\": %.3f}%s\n",
-                 scaling[i].first, scaling[i].second,
-                 i + 1 < scaling.size() ? "," : "");
+  std::fprintf(f, "  ],\n  \"lane_thread_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"lanes\": %d, \"threads\": %d, \"ms\": %.3f, "
+                 "\"gate_evals_per_sec\": %.3e}%s\n",
+                 sweep[i].lanes, sweep[i].threads, sweep[i].ms,
+                 sweep[i].gate_evals_per_sec,
+                 i + 1 < sweep.size() ? "," : "");
   }
   // Cumulative engine metrics for every run above (docs/METRICS.md).
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
@@ -186,6 +232,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
   const int default_threads = core::ThreadPool::DefaultThreadCount();
+  const int default_lanes = 64 * sim::ResolveLaneWords(0);
   const auto& variants = bench::Table2Variants();
   const size_t num_variants =
       smoke ? 1 : (bench::FullMode() ? variants.size() : 4);
@@ -193,11 +240,13 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 1 : 3;
   const size_t serial_cap = smoke ? 64 : 256;
 
-  std::printf("fault-simulation throughput (threads=%d%s)\n", default_threads,
+  std::printf("fault-simulation throughput (threads=%d, default %s%s)\n",
+              default_threads,
+              sim::DescribeLaneWords(default_lanes / 64).c_str(),
               smoke ? ", --smoke" : "");
-  std::printf("%-14s %-9s | %8s %7s | %9s %9s %9s | %7s %7s\n", "circuit",
-              "role", "faults", "nodes", "full ms", "cone1 ms", "coneN ms",
-              "evals/f", "speedup");
+  std::printf("%-14s %-9s | %8s %7s | %9s %9s %9s | %8s %8s\n", "circuit",
+              "role", "faults", "nodes", "full ms", "w64 ms", "w512 ms",
+              "Gev/s64", "Gev/s512");
 
   std::vector<CircuitReport> reports;
   bool all_equivalent = true;
@@ -251,8 +300,9 @@ int main(int argc, char** argv) {
       report.cone_default =
           RunProofs(circuit, faults, sequence, coneN, reps, &coneN_result);
 
-      // Engine equivalence: all three PROOFS configurations agree
-      // everywhere, and the serial reference agrees on its subset.
+      // Engine equivalence: all PROOFS configurations agree everywhere
+      // (including every lane width below), and the serial reference
+      // agrees on its subset.
       report.equivalent =
           SameDetections(full_result.detections, cone1_result.detections) &&
           SameDetections(full_result.detections, coneN_result.detections);
@@ -262,23 +312,35 @@ int main(int argc, char** argv) {
           report.equivalent = false;
         }
       }
+
+      // Lane width sweep: cone engine, one thread, so the rate ratios
+      // isolate the kernel width.
+      for (int w = 0; w < 3; ++w) {
+        faultsim::ProofsOptions wide = cone1;
+        wide.lane_words = kWidthWords[w];
+        faultsim::ProofsResult wide_result;
+        report.width[w] =
+            RunProofs(circuit, faults, sequence, wide, reps, &wide_result);
+        if (!SameDetections(full_result.detections, wide_result.detections)) {
+          report.equivalent = false;
+        }
+      }
       all_equivalent = all_equivalent && report.equivalent;
 
       std::printf(
-          "%-14s %-9s | %8d %7d | %9.2f %9.2f %9.2f | %7.0f %6.2fx%s\n",
+          "%-14s %-9s | %8d %7d | %9.2f %9.2f %9.2f | %8.2e %8.2e%s\n",
           report.name.c_str(), role, report.num_faults, report.num_nodes,
-          report.full.ms, report.cone_1t.ms, report.cone_default.ms,
-          report.cone_default.GateEvalsPerFrame(),
-          report.cone_default.ms > 0 ? report.full.ms / report.cone_default.ms
-                                     : 0,
+          report.full.ms, report.width[0].ms, report.width[2].ms,
+          report.width[0].GateEvalsPerSec(), report.width[2].GateEvalsPerSec(),
           report.equivalent ? "" : "  MISMATCH");
       std::fflush(stdout);
       reports.push_back(std::move(report));
     }
   }
 
-  // Thread scaling of the cone engine on the first circuit.
-  std::vector<std::pair<int, double>> scaling;
+  // Lane-width x thread-count sweep of the cone engine on the first
+  // circuit (machine gate-evals/sec per point).
+  std::vector<SweepPoint> sweep;
   if (!reports.empty()) {
     const bench::Prepared prepared = bench::PrepareVariant(variants[0]);
     const auto collapsed = fault::Collapse(prepared.original);
@@ -286,17 +348,21 @@ int main(int argc, char** argv) {
         RandomSequence(prepared.original, sequence_length, 42);
     const int hw = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
-    for (int threads = 1; threads <= hw; threads *= 2) {
-      faultsim::ProofsOptions options;
-      options.num_threads = threads;
-      const EngineStats stats = RunProofs(
-          prepared.original, collapsed.representatives, sequence, options,
-          reps);
-      scaling.emplace_back(threads, stats.ms);
+    for (int w = 0; w < 3; ++w) {
+      for (int threads = 1; threads <= hw; threads *= 2) {
+        faultsim::ProofsOptions options;
+        options.num_threads = threads;
+        options.lane_words = kWidthWords[w];
+        const EngineStats stats = RunProofs(
+            prepared.original, collapsed.representatives, sequence, options,
+            reps);
+        sweep.push_back({stats.lanes, threads, stats.ms,
+                         stats.GateEvalsPerSec()});
+      }
     }
   }
 
-  EmitJson(reports, scaling, default_threads, smoke);
+  EmitJson(reports, sweep, default_threads, default_lanes, smoke);
   std::printf("wrote BENCH_faultsim.json (%zu circuits)\n", reports.size());
   if (!all_equivalent) {
     std::fprintf(stderr, "ENGINE MISMATCH: detections disagree\n");

@@ -1,0 +1,272 @@
+// Gate-evaluation kernel microbenchmark.
+//
+// Isolates the innermost fault-sim operation — evaluating one gate
+// over 3-valued fanin values — from scheduling, cone bookkeeping and
+// the netlist walk, and times it per gate kind across the kernel
+// widths: the scalar V3 evaluator (1 machine per call), and the
+// bit-parallel Vec3<W> evaluator at W = 1, 4, 8 (64 / 256 / 512
+// machines per call).  Two access patterns are timed:
+//
+//   warm:  one small operand set reused every iteration (operands stay
+//          in L1; measures raw ALU/vector throughput);
+//   cold:  each iteration reads a different slice of a buffer sized
+//          far beyond L2 (measures the memory-bound regime the real
+//          engine sits in on big circuits).
+//
+// Every wide result is cross-checked lane-by-lane against the scalar
+// evaluator before any timing is reported; the exit code is the
+// verdict.  Emits BENCH_kernel.json into the current directory.
+//
+// Modes:
+//   (default)   full iteration counts
+//   --smoke     reduced counts (ctest budget), same checks
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/logic3.h"
+#include "sim/parallel.h"
+#include "sim/simd.h"
+
+namespace {
+
+using namespace retest;
+using netlist::NodeKind;
+using sim::V3;
+using sim::Vec3;
+
+struct Pcg {
+  std::uint64_t state = 0x853c49e6748fea9bull;
+  std::uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 17;
+  }
+};
+
+template <int W>
+Vec3<W> RandomVec(Pcg& rng) {
+  Vec3<W> v;
+  for (int w = 0; w < W; ++w) {
+    const std::uint64_t a = rng.Next() | (rng.Next() << 47);
+    const std::uint64_t b = rng.Next() | (rng.Next() << 47);
+    // Keep (one & zero) == 0: set bits of `a & b` become X (neither).
+    v.one[static_cast<size_t>(w)] = a & ~b;
+    v.zero[static_cast<size_t>(w)] = b & ~a;
+  }
+  return v;
+}
+
+constexpr NodeKind kKinds[] = {NodeKind::kAnd,  NodeKind::kNand,
+                               NodeKind::kOr,   NodeKind::kNor,
+                               NodeKind::kXor,  NodeKind::kXnor,
+                               NodeKind::kNot,  NodeKind::kBuf};
+
+const char* KindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kAnd: return "and";
+    case NodeKind::kNand: return "nand";
+    case NodeKind::kOr: return "or";
+    case NodeKind::kNor: return "nor";
+    case NodeKind::kXor: return "xor";
+    case NodeKind::kXnor: return "xnor";
+    case NodeKind::kNot: return "not";
+    case NodeKind::kBuf: return "buf";
+    default: return "?";
+  }
+}
+
+int FaninCount(NodeKind kind) {
+  return (kind == NodeKind::kNot || kind == NodeKind::kBuf) ? 1 : 2;
+}
+
+double TimeMs(const auto& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// One (kind, width, pattern) measurement.  `machine_evals_per_sec` is
+/// the cross-width throughput: gate evaluations x machines per call.
+struct Point {
+  const char* kind;
+  int lanes;  // 1 = scalar V3
+  const char* pattern;
+  double ms;
+  long calls;
+  double machine_evals_per_sec;
+};
+
+/// Cross-check: every lane of EvalGateWide<W> must equal EvalGate3 on
+/// that lane's scalar projection.
+template <int W>
+bool VerifyKernel(Pcg& rng) {
+  for (NodeKind kind : kKinds) {
+    const int arity = FaninCount(kind);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<Vec3<W>> fanin(static_cast<size_t>(arity));
+      for (auto& f : fanin) f = RandomVec<W>(rng);
+      const Vec3<W> wide = sim::EvalGateWide<W>(kind, fanin);
+      for (int lane = 0; lane < Vec3<W>::kLanes; ++lane) {
+        std::vector<V3> scalar_fanin(static_cast<size_t>(arity));
+        for (int p = 0; p < arity; ++p) {
+          scalar_fanin[static_cast<size_t>(p)] =
+              fanin[static_cast<size_t>(p)].Lane(lane);
+        }
+        if (wide.Lane(lane) != sim::EvalGate3(kind, scalar_fanin)) {
+          std::fprintf(stderr, "KERNEL MISMATCH: %s W=%d lane=%d\n",
+                       KindName(kind), W, lane);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+/// Times EvalGateWide<W> over `calls` evaluations.  `cold` strides
+/// through a large operand buffer; warm reuses one operand set.
+template <int W>
+Point TimeWide(NodeKind kind, bool cold, long calls, int reps, Pcg& rng) {
+  const int arity = FaninCount(kind);
+  // ~32 MiB of operands in cold mode: far beyond L2, so every call
+  // pays the memory system.
+  const size_t pool_vecs =
+      cold ? (32u << 20) / sizeof(Vec3<W>) : static_cast<size_t>(arity);
+  std::vector<Vec3<W>> pool(pool_vecs);
+  for (auto& v : pool) v = RandomVec<W>(rng);
+
+  Vec3<W> sink{};
+  const double ms = TimeMs(
+      [&] {
+        size_t cursor = 0;
+        for (long c = 0; c < calls; ++c) {
+          const std::span<const Vec3<W>> fanin(
+              pool.data() + cursor, static_cast<size_t>(arity));
+          const Vec3<W> r = sim::EvalGateWide<W>(kind, fanin);
+          for (int w = 0; w < W; ++w) {
+            sink.one[static_cast<size_t>(w)] ^= r.one[static_cast<size_t>(w)];
+            sink.zero[static_cast<size_t>(w)] ^=
+                r.zero[static_cast<size_t>(w)];
+          }
+          cursor += static_cast<size_t>(arity);
+          if (cursor + static_cast<size_t>(arity) > pool.size()) cursor = 0;
+        }
+      },
+      reps);
+  // Keep the accumulator observable so the loop is not dead code.
+  volatile std::uint64_t keep = sink.one[0] ^ sink.zero[0];
+  (void)keep;
+  return {KindName(kind), Vec3<W>::kLanes, cold ? "cold" : "warm", ms, calls,
+          ms > 0 ? 1000.0 * static_cast<double>(calls) *
+                       static_cast<double>(Vec3<W>::kLanes) / ms
+                 : 0};
+}
+
+/// Scalar baseline: EvalGate3 call per machine.
+Point TimeScalar(NodeKind kind, bool cold, long calls, int reps, Pcg& rng) {
+  const int arity = FaninCount(kind);
+  const size_t pool_vals =
+      cold ? (32u << 20) / sizeof(V3) : static_cast<size_t>(arity);
+  std::vector<V3> pool(pool_vals);
+  for (auto& v : pool) {
+    const std::uint64_t r = rng.Next() % 3;
+    v = r == 0 ? V3::k0 : (r == 1 ? V3::k1 : V3::kX);
+  }
+
+  unsigned sink = 0;
+  const double ms = TimeMs(
+      [&] {
+        size_t cursor = 0;
+        for (long c = 0; c < calls; ++c) {
+          const std::span<const V3> fanin(pool.data() + cursor,
+                                          static_cast<size_t>(arity));
+          sink ^= static_cast<unsigned>(sim::EvalGate3(kind, fanin));
+          cursor += static_cast<size_t>(arity);
+          if (cursor + static_cast<size_t>(arity) > pool.size()) cursor = 0;
+        }
+      },
+      reps);
+  volatile unsigned keep = sink;
+  (void)keep;
+  return {KindName(kind), 1, cold ? "cold" : "warm", ms, calls,
+          ms > 0 ? 1000.0 * static_cast<double>(calls) / ms : 0};
+}
+
+void EmitJson(const std::vector<Point>& points, bool smoke) {
+  std::FILE* f = std::fopen("BENCH_kernel.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_kernel.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(
+      f, "  \"simd\": {\"policy\": \"%s\", \"avx2\": %s, \"avx512\": %s},\n",
+      std::string(sim::ToString(sim::DefaultSimdPolicy())).c_str(),
+      sim::CpuHasAvx2() ? "true" : "false",
+      sim::CpuHasAvx512() ? "true" : "false");
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"kind\": \"%s\", \"lanes\": %d, \"pattern\": \"%s\", "
+                 "\"ms\": %.3f, \"calls\": %ld, "
+                 "\"machine_evals_per_sec\": %.3e}%s\n",
+                 p.kind, p.lanes, p.pattern, p.ms, p.calls,
+                 p.machine_evals_per_sec, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  Pcg rng;
+  if (!VerifyKernel<1>(rng) || !VerifyKernel<4>(rng) || !VerifyKernel<8>(rng)) {
+    return 1;
+  }
+
+  const long calls = smoke ? 20'000 : 2'000'000;
+  const int reps = smoke ? 1 : 3;
+
+  std::printf("gate-eval kernel throughput (%s)\n",
+              sim::DescribeLaneWords(sim::ResolveLaneWords(0)).c_str());
+  std::printf("%-6s %-6s %-6s | %10s | %12s\n", "kind", "lanes", "pat", "ms",
+              "machine-ev/s");
+
+  std::vector<Point> points;
+  auto record = [&](Point p) {
+    std::printf("%-6s %-6d %-6s | %10.3f | %12.3e\n", p.kind, p.lanes,
+                p.pattern, p.ms, p.machine_evals_per_sec);
+    points.push_back(p);
+  };
+  for (NodeKind kind : kKinds) {
+    for (bool cold : {false, true}) {
+      record(TimeScalar(kind, cold, calls, reps, rng));
+      record(TimeWide<1>(kind, cold, calls, reps, rng));
+      record(TimeWide<4>(kind, cold, calls, reps, rng));
+      record(TimeWide<8>(kind, cold, calls, reps, rng));
+    }
+  }
+
+  EmitJson(points, smoke);
+  std::printf("wrote BENCH_kernel.json (%zu points)\n", points.size());
+  return 0;
+}

@@ -269,11 +269,13 @@ class Driver {
       }
       FillUnassigned(candidate, rng);
       // Verify by fault simulation (HITEC does the same) on the
-      // cone-restricted PROOFS engine; single fault, so batching and
-      // site sorting buy nothing.
+      // cone-restricted PROOFS engine; single fault, so batching, site
+      // sorting and wide lanes buy nothing — pin the 64-lane kernel
+      // rather than paying a 512-lane frame for one machine.
       faultsim::ProofsOptions proofs;
       proofs.num_threads = 1;
       proofs.sort_faults = false;
+      proofs.lane_words = 1;
       const auto verdict =
           faultsim::SimulateProofs(circuit_, std::span(&fault, 1), candidate,
                                    proofs);

@@ -8,20 +8,23 @@
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "core/trace.h"
+#include "sim/compiled.h"
 #include "sim/levelizer.h"
 #include "sim/parallel.h"
+#include "sim/simd.h"
 
 namespace retest::faultsim {
 
+using sim::LaneMask;
 using sim::V3;
-using sim::Word3;
+using sim::Vec3;
 
 namespace {
 
-/// Fault order that maximizes cone sharing inside a 64-fault word:
-/// sites are visited in levelized topological position, so the faults
-/// of one batch sit close together and the union of their fanout cones
-/// stays near the size of a single cone.
+/// Fault order that maximizes cone sharing inside a lane group: sites
+/// are visited in levelized topological position, so the faults of one
+/// batch sit close together and the union of their fanout cones stays
+/// near the size of a single cone.
 std::vector<size_t> BatchOrder(const netlist::Circuit& circuit,
                                std::span<const fault::Fault> faults,
                                bool sort_faults) {
@@ -47,71 +50,55 @@ std::vector<size_t> BatchOrder(const netlist::Circuit& circuit,
 
 /// Per-worker reusable scratch: one frame evaluator and state vector,
 /// plus local work counters merged after the parallel loop.
+template <int W>
 struct WorkerScratch {
-  std::optional<sim::ParallelFrame> frame;
-  std::vector<Word3> state;
+  std::optional<sim::WideFrame<W>> frame;
+  std::vector<Vec3<W>> state;
   long frames_evaluated = 0;
 };
 
-}  // namespace
+/// The batch loop at one lane width.  All batches evaluate the shared
+/// compiled netlist and (in cone mode) the shared good-machine trace;
+/// detections land in `result.detections` at input positions, so the
+/// outcome is independent of batching, threading and W.
+template <int W>
+void RunBatches(const netlist::Circuit& circuit,
+                std::span<const fault::Fault> faults,
+                const sim::InputSequence& sequence,
+                const ProofsOptions& options,
+                const sim::Trace* trace,
+                const std::vector<std::vector<V3>>& good_outputs,
+                const std::vector<size_t>& order, ProofsResult& result) {
+  constexpr int kLanes = Vec3<W>::kLanes;
+  const std::shared_ptr<const sim::CompiledNetlist> compiled =
+      sim::Compile(circuit);
+  std::optional<sim::WideTrace<W>> wide_trace;
+  if (options.cone_restricted) wide_trace.emplace(*trace);
 
-ProofsResult SimulateProofs(const netlist::Circuit& circuit,
-                            std::span<const fault::Fault> faults,
-                            const sim::InputSequence& sequence,
-                            const ProofsOptions& options) {
-  RETEST_TRACE_SPAN(run_span, "faultsim.simulate");
-  ProofsResult result;
-  result.detections.assign(faults.size(), {});
-  if (faults.empty() || sequence.empty()) return result;
-  RETEST_COUNTER_ADD("faultsim.runs", "runs", "faultsim",
-                     "SimulateProofs invocations", 1);
-  RETEST_COUNTER_ADD("faultsim.faults_simulated", "faults", "faultsim",
-                     "faults handed to SimulateProofs",
-                     static_cast<long>(faults.size()));
-
-  // Good-machine responses once, shared read-only by every batch.  The
-  // cone-restricted mode needs the full per-node trace (non-cone values
-  // are seeded from it); full evaluation only needs the PO responses.
-  std::optional<sim::Trace> trace;
-  std::optional<sim::WordTrace> word_trace;
-  std::vector<std::vector<V3>> good_po;
-  {
-    RETEST_TRACE_SPAN(good_span, "faultsim.good_trace");
-    if (options.cone_restricted) {
-      trace.emplace(circuit, sequence);
-      word_trace.emplace(*trace);
-    } else {
-      sim::Simulator good(circuit);
-      good.Reset();
-      good_po = good.Run(sequence);
-    }
-  }
-  const auto& good_outputs = options.cone_restricted ? trace->outputs() : good_po;
-
-  const std::vector<size_t> order =
-      BatchOrder(circuit, faults, options.sort_faults);
-  const size_t num_batches = (faults.size() + 63) / 64;
+  const size_t num_batches =
+      (faults.size() + static_cast<size_t>(kLanes) - 1) /
+      static_cast<size_t>(kLanes);
   const int requested = core::ResolveThreadCount(options.num_threads);
-  const int num_threads =
-      static_cast<int>(std::min<size_t>(num_batches,
-                                        static_cast<size_t>(requested)));
+  const int num_threads = static_cast<int>(
+      std::min<size_t>(num_batches, static_cast<size_t>(requested)));
   result.threads_used = num_threads;
+  result.lanes = kLanes;
 
   const size_t num_dffs = static_cast<size_t>(circuit.num_dffs());
-  std::vector<WorkerScratch> scratch(static_cast<size_t>(num_threads));
+  std::vector<WorkerScratch<W>> scratch(static_cast<size_t>(num_threads));
   core::ThreadPool pool(num_threads);
   pool.ParallelFor(num_batches, [&](int worker, size_t batch) {
     RETEST_TRACE_SPAN(batch_span, "faultsim.batch");
     RETEST_SCOPED_TIMER(batch_timer, "faultsim.batch_ms", "faultsim",
-                        "wall time of one 64-fault batch");
-    WorkerScratch& ws = scratch[static_cast<size_t>(worker)];
-    if (!ws.frame) ws.frame.emplace(circuit);
-    sim::ParallelFrame& frame = *ws.frame;
+                        "wall time of one fault batch");
+    WorkerScratch<W>& ws = scratch[static_cast<size_t>(worker)];
+    if (!ws.frame) ws.frame.emplace(compiled);
+    sim::WideFrame<W>& frame = *ws.frame;
     const long frames_before = ws.frames_evaluated;
 
-    const size_t base = batch * 64;
-    const int lanes =
-        static_cast<int>(std::min<size_t>(64, faults.size() - base));
+    const size_t base = batch * static_cast<size_t>(kLanes);
+    const int lanes = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(kLanes), faults.size() - base));
     std::vector<sim::Injection> injections;
     injections.reserve(static_cast<size_t>(lanes));
     for (int lane = 0; lane < lanes; ++lane) {
@@ -128,18 +115,18 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
               static_cast<double>(std::max(1, circuit.size())));
     }
 
-    ws.state.assign(num_dffs, Word3{});  // all-X initial state
-    const std::uint64_t lane_mask = lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
-    std::uint64_t undetected = lane_mask;
+    ws.state.assign(num_dffs, Vec3<W>{});  // all-X initial state
+    const LaneMask<W> lane_mask = LaneMask<W>::FirstN(lanes);
+    LaneMask<W> undetected = lane_mask;
 
     for (size_t t = 0; t < sequence.size(); ++t) {
       if (options.cone_restricted) {
-        frame.Step(sequence[t], ws.state, word_trace->frame(t));
+        frame.Step(sequence[t], ws.state, wide_trace->frame(t));
       } else {
         frame.Step(sequence[t], ws.state);
       }
       ++ws.frames_evaluated;
-      const std::uint64_t before = undetected;
+      const LaneMask<W> before = undetected;
       for (int o : frame.active_outputs()) {
         const netlist::NodeId out_node =
             circuit.outputs()[static_cast<size_t>(o)];
@@ -148,33 +135,39 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
         if (options.cone_restricted && !frame.dirty(out_node)) continue;
         const V3 g = good_outputs[t][static_cast<size_t>(o)];
         if (g == V3::kX) continue;
-        const Word3& w = frame.value(out_node);
-        // Faulty machine must be binary and complementary.
-        const std::uint64_t differs = (g == V3::k1 ? w.zero : w.one);
-        std::uint64_t newly = differs & undetected;
-        while (newly != 0) {
-          const int lane = std::countr_zero(newly);
-          newly &= newly - 1;
-          auto& detection =
-              result.detections[order[base + static_cast<size_t>(lane)]];
-          detection.detected = true;
-          detection.time = static_cast<int>(t);
-          undetected &= ~(1ull << lane);
+        const Vec3<W>& w = frame.value(out_node);
+        for (int k = 0; k < W; ++k) {
+          // Faulty machine must be binary and complementary.
+          const std::uint64_t differs =
+              (g == V3::k1 ? w.zero[static_cast<size_t>(k)]
+                           : w.one[static_cast<size_t>(k)]);
+          std::uint64_t newly =
+              differs & undetected.bits[static_cast<size_t>(k)];
+          while (newly != 0) {
+            const int lane = k * 64 + std::countr_zero(newly);
+            newly &= newly - 1;
+            auto& detection =
+                result.detections[order[base + static_cast<size_t>(lane)]];
+            detection.detected = true;
+            detection.time = static_cast<int>(t);
+            undetected.reset(lane);
+          }
         }
       }
       if (options.drop_detected) {
-        if (undetected == 0) break;
+        if (!undetected.any()) break;
         // PROOFS fault dropping: retire detected lanes so they stop
         // generating events inside the cone.
-        const std::uint64_t newly = before & ~undetected;
-        if (newly != 0 && options.cone_restricted) frame.DropLanes(newly);
+        const LaneMask<W> dropped = before & ~undetected;
+        if (dropped.any() && options.cone_restricted) {
+          frame.DropLanes(dropped);
+        }
       }
     }
 
-    const int detected_in_batch =
-        std::popcount(lane_mask & ~undetected);
+    const int detected_in_batch = (lane_mask & ~undetected).count();
     RETEST_COUNTER_ADD("faultsim.batches", "batches", "faultsim",
-                       "64-fault batches simulated", 1);
+                       "fault batches simulated", 1);
     RETEST_COUNTER_ADD("faultsim.frames_evaluated", "frames", "faultsim",
                        "circuit frames evaluated across batches",
                        ws.frames_evaluated - frames_before);
@@ -182,17 +175,71 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
                        "faults detected by PROOFS", detected_in_batch);
     if (options.drop_detected) {
       RETEST_DIST_RECORD("faultsim.dropped_per_batch", "faults", "faultsim",
-                         "faults dropped (detected) per 64-fault batch",
+                         "faults dropped (detected) per batch",
                          detected_in_batch);
     }
   });
 
-  for (const WorkerScratch& ws : scratch) {
+  for (const WorkerScratch<W>& ws : scratch) {
     result.frames_evaluated += ws.frames_evaluated;
     if (ws.frame) result.gate_evals += ws.frame->gate_evals();
   }
+}
+
+}  // namespace
+
+ProofsResult SimulateProofs(const netlist::Circuit& circuit,
+                            std::span<const fault::Fault> faults,
+                            const sim::InputSequence& sequence,
+                            const ProofsOptions& options) {
+  RETEST_TRACE_SPAN(run_span, "faultsim.simulate");
+  ProofsResult result;
+  result.detections.assign(faults.size(), {});
+  result.lanes = 64 * sim::ResolveLaneWords(options.lane_words);
+  if (faults.empty() || sequence.empty()) return result;
+  RETEST_COUNTER_ADD("faultsim.runs", "runs", "faultsim",
+                     "SimulateProofs invocations", 1);
+  RETEST_COUNTER_ADD("faultsim.faults_simulated", "faults", "faultsim",
+                     "faults handed to SimulateProofs",
+                     static_cast<long>(faults.size()));
+
+  // Good-machine responses once, shared read-only by every batch.  The
+  // cone-restricted mode needs the full per-node trace (non-cone values
+  // are seeded from it); full evaluation only needs the PO responses.
+  std::optional<sim::Trace> trace;
+  std::vector<std::vector<V3>> good_po;
+  {
+    RETEST_TRACE_SPAN(good_span, "faultsim.good_trace");
+    if (options.cone_restricted) {
+      trace.emplace(circuit, sequence);
+    } else {
+      sim::Simulator good(circuit);
+      good.Reset();
+      good_po = good.Run(sequence);
+    }
+  }
+  const auto& good_outputs =
+      options.cone_restricted ? trace->outputs() : good_po;
+
+  const std::vector<size_t> order =
+      BatchOrder(circuit, faults, options.sort_faults);
+
+  switch (sim::ResolveLaneWords(options.lane_words)) {
+    case 8:
+      RunBatches<8>(circuit, faults, sequence, options,
+                    trace ? &*trace : nullptr, good_outputs, order, result);
+      break;
+    case 4:
+      RunBatches<4>(circuit, faults, sequence, options,
+                    trace ? &*trace : nullptr, good_outputs, order, result);
+      break;
+    default:
+      RunBatches<1>(circuit, faults, sequence, options,
+                    trace ? &*trace : nullptr, good_outputs, order, result);
+      break;
+  }
   RETEST_COUNTER_ADD("faultsim.gate_evals", "node-evals", "faultsim",
-                     "64-wide node evaluations performed",
+                     "lane-wide node evaluations performed",
                      result.gate_evals);
   return result;
 }

@@ -1,33 +1,40 @@
-// PROOFS-style sequential fault simulator.
+// PROOFS-style sequential fault simulator, SIMD-wide.
 //
-// Simulates 64 faulty machines per pass using the bit-parallel 3-valued
-// engine (Niermann/Cheng/Patel, DAC 1990 — the simulator the paper's
-// Section V.C experiments used).  Faults are dropped from further work
-// once detected; each faulty machine keeps its own DFF state across the
-// whole sequence.
+// Simulates 64*W faulty machines per pass using the bit-parallel
+// 3-valued engine (Niermann/Cheng/Patel, DAC 1990 — the simulator the
+// paper's Section V.C experiments used; W is the SIMD lane-group width
+// from sim/simd.h: 64, 256 or 512 faults per pass).  Faults are
+// dropped from further work once detected; each faulty machine keeps
+// its own DFF state across the whole sequence.
 //
 // Two PROOFS insights drive the performance of the default
 // configuration:
 //  - cone restriction: a fault can only perturb values inside the
 //    structural fanout cone of its site (transitive through DFFs), so
-//    each 64-fault batch evaluates only the union of its cones and
-//    seeds everything else from a shared read-only good-machine trace;
+//    each fault batch evaluates only the union of its cones and seeds
+//    everything else from a shared read-only good-machine trace;
 //  - batch locality: collapsed faults are ordered by the topological
 //    position of their site before batching, so faults sharing a word
-//    share cones and the union stays small.
-// Independent batches are dispatched across a thread pool
-// (ProofsOptions::num_threads / the REPRO_THREADS env override).
+//    share cones and the union stays small.  Wider lanes amortize the
+//    shared cone-union work over more faults per evaluation.
+// All workers evaluate one shared, immutable CompiledNetlist
+// (sim/compiled.h) — the flattened SoA image of the circuit — instead
+// of walking per-node heap vectors.  Independent batches are
+// dispatched across a thread pool (ProofsOptions::num_threads / the
+// REPRO_THREADS env override).
 //
-// Thread-safety and determinism contract (docs/ARCHITECTURE.md):
+// Thread-safety and determinism contract (docs/ARCHITECTURE.md,
+// docs/SIMD.md):
 //  - SimulateProofs is safe to call concurrently from multiple threads
 //    (it shares no mutable state between runs), and each run's workers
-//    share only the immutable good-machine trace; all per-batch
-//    scratch is worker-owned and merged by batch index.
-//  - The result is a pure function of (circuit, faults, sequence,
-//    drop_detected/cone_restricted/sort_faults): detections,
-//    frames_evaluated and gate_evals are bit-identical at any
-//    num_threads.  Tier-1 tests and the bench_faultsim_perf exit code
-//    enforce this.
+//    share only the immutable good-machine trace and compiled netlist;
+//    all per-batch scratch is worker-owned and merged by batch index.
+//  - Detections are a pure function of (circuit, faults, sequence,
+//    drop_detected/cone_restricted/sort_faults): bit-identical at any
+//    num_threads AND any lane width.  frames_evaluated and gate_evals
+//    are additionally invariant across thread counts at a fixed lane
+//    width (wider lanes mean fewer, heavier evaluations).  Tier-1
+//    tests and the bench_faultsim_perf exit code enforce this.
 //  - Instrumentation (faultsim.* metrics, faultsim.* trace spans; see
 //    docs/METRICS.md) is observational only and never alters results.
 #pragma once
@@ -43,7 +50,7 @@ namespace retest::faultsim {
 
 /// Knobs for the parallel fault simulator.
 struct ProofsOptions {
-  /// Stop simulating a 64-fault group once all its faults are detected.
+  /// Stop simulating a fault group once all its faults are detected.
   bool drop_detected = true;
   /// Evaluate only the union of the batch's fault cones per frame,
   /// seeding non-cone values from the good-machine trace.
@@ -51,25 +58,34 @@ struct ProofsOptions {
   /// Order faults by topological site position before batching so that
   /// faults sharing a word share cones.
   bool sort_faults = true;
-  /// Worker threads for independent 64-fault batches.  <= 0 means
+  /// Worker threads for independent fault batches.  <= 0 means
   /// core::ThreadPool::DefaultThreadCount() (the REPRO_THREADS env var
   /// when set, else hardware concurrency).
   int num_threads = 0;
+  /// Machine words per lane group: 1 (64 faults/pass), 4 (256) or
+  /// 8 (512).  Any other value (0 = default) resolves via
+  /// sim::ResolveLaneWords — the REPRO_SIMD env var / CMake option,
+  /// with `auto` picking the widest kernel the CPU runs natively.
+  /// Width never changes detections, only batching and work counters.
+  int lane_words = 0;
 };
 
 /// Aggregate result of a fault-simulation run.
 struct ProofsResult {
   /// One entry per fault, in input order (independent of sorting,
-  /// batching and thread count).
+  /// batching, thread count and lane width).
   std::vector<Detection> detections;
   /// Total circuit-frame evaluations performed (deterministic work
-  /// measure; 64 machines per frame).
+  /// measure; each frame covers `lanes` machines).
   long frames_evaluated = 0;
   /// Total node evaluations across all frames (deterministic work
-  /// measure; cone restriction shrinks this, threading does not).
+  /// measure; cone restriction shrinks this, threading does not; each
+  /// evaluation covers `lanes` machines).
   long gate_evals = 0;
   /// Threads the run actually used.
   int threads_used = 1;
+  /// Faulty machines simulated per pass (64 * lane words).
+  int lanes = 64;
 
   int num_detected() const {
     int count = 0;
@@ -78,7 +94,7 @@ struct ProofsResult {
   }
 };
 
-/// Fault simulates `sequence` over `faults` (64 per pass).
+/// Fault simulates `sequence` over `faults` (64*W per pass).
 ProofsResult SimulateProofs(const netlist::Circuit& circuit,
                             std::span<const fault::Fault> faults,
                             const sim::InputSequence& sequence,

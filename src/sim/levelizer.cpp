@@ -45,6 +45,8 @@ Levelization Levelize(const Circuit& circuit) {
                              circuit.name() + "'");
   }
   for (int lvl : result.level) result.depth = std::max(result.depth, lvl);
+  result.level_count.assign(static_cast<size_t>(result.depth) + 1, 0);
+  for (int lvl : result.level) ++result.level_count[static_cast<size_t>(lvl)];
   return result;
 }
 

@@ -20,6 +20,11 @@ struct Levelization {
   std::vector<int> level;
   /// Maximum level of any node = combinational depth of the circuit.
   int depth = 0;
+  /// Nodes at each level; `level_count[l]` is the number of nodes with
+  /// level l, for l in [0, depth].  Consumers that want contiguous
+  /// per-level runs (the SoA hot path in sim/compiled.h) build their
+  /// prefix sums from this instead of re-scanning `level`.
+  std::vector<int> level_count;
 };
 
 /// Computes a levelization.  Requires netlist::Check to pass (throws on

@@ -8,81 +8,111 @@
 
 namespace retest::sim {
 
-using netlist::Node;
-using netlist::NodeId;
 using netlist::NodeKind;
 
-Word3 EvalGate64(NodeKind kind, std::span<const Word3> fanin) {
+namespace {
+
+/// Shared gate function over an explicit fanin span.  Also the body of
+/// the public EvalGateWide; kept as a local inline so the frame
+/// evaluators pay no cross-TU call in their hot loops.
+template <int W>
+inline Vec3<W> EvalGateSpan(NodeKind kind, std::span<const Vec3<W>> fanin) {
   switch (kind) {
     case NodeKind::kConst0:
-      return Word3::Broadcast(V3::k0);
+      return Vec3<W>::Broadcast(V3::k0);
     case NodeKind::kConst1:
-      return Word3::Broadcast(V3::k1);
+      return Vec3<W>::Broadcast(V3::k1);
     case NodeKind::kBuf:
       return fanin[0];
     case NodeKind::kNot:
-      return Not64(fanin[0]);
+      return NotV(fanin[0]);
     case NodeKind::kAnd:
     case NodeKind::kNand: {
-      Word3 acc = Word3::Broadcast(V3::k1);
-      for (const Word3& w : fanin) acc = And64(acc, w);
-      return kind == NodeKind::kAnd ? acc : Not64(acc);
+      Vec3<W> acc = fanin[0];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = AndV(acc, fanin[i]);
+      return kind == NodeKind::kAnd ? acc : NotV(acc);
     }
     case NodeKind::kOr:
     case NodeKind::kNor: {
-      Word3 acc = Word3::Broadcast(V3::k0);
-      for (const Word3& w : fanin) acc = Or64(acc, w);
-      return kind == NodeKind::kOr ? acc : Not64(acc);
+      Vec3<W> acc = fanin[0];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = OrV(acc, fanin[i]);
+      return kind == NodeKind::kOr ? acc : NotV(acc);
     }
     case NodeKind::kXor:
     case NodeKind::kXnor: {
-      Word3 acc = Word3::Broadcast(V3::k0);
-      for (const Word3& w : fanin) acc = Xor64(acc, w);
-      return kind == NodeKind::kXor ? acc : Not64(acc);
+      Vec3<W> acc = fanin[0];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = XorV(acc, fanin[i]);
+      return kind == NodeKind::kXor ? acc : NotV(acc);
     }
     default:
-      throw std::invalid_argument("EvalGate64: not a combinational kind");
+      throw std::invalid_argument("EvalGateWide: not a combinational kind");
   }
 }
 
-WordTrace::WordTrace(const Trace& trace) : frames_(trace.num_frames()) {
+inline bool IsSource(NodeKind kind) {
+  return kind == NodeKind::kInput || kind == NodeKind::kDff ||
+         kind == NodeKind::kConst0 || kind == NodeKind::kConst1;
+}
+
+}  // namespace
+
+template <int W>
+Vec3<W> EvalGateWide(NodeKind kind, std::span<const Vec3<W>> fanin) {
+  if (fanin.empty() && kind != NodeKind::kConst0 && kind != NodeKind::kConst1) {
+    throw std::invalid_argument("EvalGateWide: empty fanin");
+  }
+  return EvalGateSpan<W>(kind, fanin);
+}
+
+template <int W>
+WideTrace<W>::WideTrace(const Trace& trace) : frames_(trace.num_frames()) {
   if (frames_ == 0) return;
   num_nodes_ = trace.frame(0).size();
   words_.resize(frames_ * num_nodes_);
+  const Vec3<W> broadcast[3] = {Vec3<W>::Broadcast(V3::k0),
+                                Vec3<W>::Broadcast(V3::k1),
+                                Vec3<W>::Broadcast(V3::kX)};
   for (size_t t = 0; t < frames_; ++t) {
     const std::span<const V3> frame = trace.frame(t);
-    Word3* out = words_.data() + t * num_nodes_;
-    for (size_t n = 0; n < num_nodes_; ++n) out[n] = Word3::Broadcast(frame[n]);
+    Vec3<W>* out = words_.data() + t * num_nodes_;
+    for (size_t n = 0; n < num_nodes_; ++n) {
+      switch (frame[n]) {
+        case V3::k0: out[n] = broadcast[0]; break;
+        case V3::k1: out[n] = broadcast[1]; break;
+        default: out[n] = broadcast[2]; break;
+      }
+    }
   }
 }
 
-ParallelFrame::ParallelFrame(const netlist::Circuit& circuit)
-    : circuit_(&circuit),
-      levels_(Levelize(circuit)),
-      values_(static_cast<size_t>(circuit.size())),
-      by_node_(static_cast<size_t>(circuit.size())),
-      in_cone_(static_cast<size_t>(circuit.size()), 0) {
-  all_outputs_.resize(static_cast<size_t>(circuit.num_outputs()));
+template <int W>
+WideFrame<W>::WideFrame(const netlist::Circuit& circuit)
+    : WideFrame(Compile(circuit)) {}
+
+template <int W>
+WideFrame<W>::WideFrame(std::shared_ptr<const CompiledNetlist> compiled)
+    : compiled_(std::move(compiled)),
+      values_(static_cast<size_t>(compiled_->num_nodes())),
+      by_node_(static_cast<size_t>(compiled_->num_nodes())),
+      in_cone_(static_cast<size_t>(compiled_->num_nodes()), 0) {
+  all_outputs_.resize(compiled_->outputs().size());
   std::iota(all_outputs_.begin(), all_outputs_.end(), 0);
   active_outputs_ = all_outputs_;
-  pi_index_.assign(static_cast<size_t>(circuit.size()), -1);
-  const auto& pis = circuit.inputs();
-  for (size_t i = 0; i < pis.size(); ++i) {
-    pi_index_[static_cast<size_t>(pis[i])] = static_cast<int>(i);
-  }
-  scheduled_.assign(static_cast<size_t>(circuit.size()), 0);
-  int num_levels = 0;
-  for (int lvl : levels_.level) num_levels = std::max(num_levels, lvl + 1);
-  buckets_.resize(static_cast<size_t>(num_levels));
+  scheduled_.assign(static_cast<size_t>(compiled_->num_nodes()), 0);
+  buckets_.resize(static_cast<size_t>(compiled_->depth()) + 1);
 }
 
-void ParallelFrame::SetInjections(std::span<const Injection> injections) {
-  for (NodeId id : touched_nodes_) by_node_[static_cast<size_t>(id)].clear();
+template <int W>
+void WideFrame<W>::SetInjections(std::span<const Injection> injections) {
+  for (std::uint32_t id : touched_nodes_) by_node_[id].clear();
   touched_nodes_.clear();
-  active_lanes_ = ~0ull;
+  active_lanes_ = LaneMask<W>::All();
   for (const Injection& inj : injections) {
+    assert(inj.lane >= 0 && inj.lane < Vec3<W>::kLanes);
     auto& list = by_node_[static_cast<size_t>(inj.node)];
-    if (list.empty()) touched_nodes_.push_back(inj.node);
+    if (list.empty()) {
+      touched_nodes_.push_back(static_cast<std::uint32_t>(inj.node));
+    }
     list.push_back(inj);
   }
   cone_mode_ = false;
@@ -90,7 +120,8 @@ void ParallelFrame::SetInjections(std::span<const Injection> injections) {
   active_outputs_ = all_outputs_;
 }
 
-void ParallelFrame::RestrictToInjectionCones() {
+template <int W>
+void WideFrame<W>::RestrictToInjectionCones() {
   in_cone_.assign(in_cone_.size(), 0);
   dirty_.assign(in_cone_.size(), 0);
   dirty_list_.clear();
@@ -104,19 +135,19 @@ void ParallelFrame::RestrictToInjectionCones() {
   // the cone root.  Fanout edges naturally chain through DFFs: a DFF
   // whose D cone differs latches a faulty state, perturbing its Q
   // consumers on later frames.
-  std::vector<NodeId> worklist;
-  for (NodeId id : touched_nodes_) {
-    if (!in_cone_[static_cast<size_t>(id)]) {
-      in_cone_[static_cast<size_t>(id)] = 1;
+  std::vector<std::uint32_t> worklist;
+  for (std::uint32_t id : touched_nodes_) {
+    if (!in_cone_[id]) {
+      in_cone_[id] = 1;
       worklist.push_back(id);
     }
   }
   while (!worklist.empty()) {
-    const NodeId id = worklist.back();
+    const std::uint32_t id = worklist.back();
     worklist.pop_back();
-    for (NodeId sink : circuit_->node(id).fanout) {
-      if (!in_cone_[static_cast<size_t>(sink)]) {
-        in_cone_[static_cast<size_t>(sink)] = 1;
+    for (std::uint32_t sink : compiled_->fanouts(id)) {
+      if (!in_cone_[sink]) {
+        in_cone_[sink] = 1;
         worklist.push_back(sink);
       }
     }
@@ -126,24 +157,20 @@ void ParallelFrame::RestrictToInjectionCones() {
   for (char mark : in_cone_) cone_size_ += mark;
   // Injected gates/POs must be (re)evaluated whenever any of their
   // lanes is still live, even on frames where no fanin is dirty.
-  for (NodeId id : touched_nodes_) {
-    const NodeKind kind = circuit_->node(id).kind;
-    if (kind == NodeKind::kInput || kind == NodeKind::kDff) continue;
-    std::uint64_t mask = 0;
-    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      mask |= 1ull << inj.lane;
-    }
+  // Sources (PIs, DFFs, constants) are seeded instead.
+  for (std::uint32_t id : touched_nodes_) {
+    if (IsSource(compiled_->kind(id))) continue;
+    LaneMask<W> mask;
+    for (const Injection& inj : by_node_[id]) mask.set(inj.lane);
     forced_.emplace_back(id, mask);
   }
-  const auto& dffs = circuit_->dffs();
+  const auto dffs = compiled_->dffs();
   for (size_t i = 0; i < dffs.size(); ++i) {
-    if (in_cone_[static_cast<size_t>(dffs[i])]) cone_dffs_.push_back(i);
+    if (in_cone_[dffs[i]]) cone_dffs_.push_back(i);
   }
-  const auto& outputs = circuit_->outputs();
+  const auto outputs = compiled_->outputs();
   for (size_t o = 0; o < outputs.size(); ++o) {
-    if (in_cone_[static_cast<size_t>(outputs[o])]) {
-      active_outputs_.push_back(static_cast<int>(o));
-    }
+    if (in_cone_[outputs[o]]) active_outputs_.push_back(static_cast<int>(o));
   }
   cone_mode_ = true;
   RETEST_COUNTER_ADD("sim.cone_restrictions", "calls", "sim",
@@ -153,150 +180,191 @@ void ParallelFrame::RestrictToInjectionCones() {
                      cone_size_);
 }
 
-void ParallelFrame::SeedSources(std::span<const V3> inputs) {
-  const auto& pis = circuit_->inputs();
+template <int W>
+void WideFrame<W>::SeedSources(std::span<const V3> inputs) {
+  const auto pis = compiled_->inputs();
   for (size_t i = 0; i < pis.size(); ++i) {
-    values_[static_cast<size_t>(pis[i])] = Word3::Broadcast(inputs[i]);
+    values_[pis[i]] = Vec3<W>::Broadcast(inputs[i]);
+  }
+  // Constants are sources in the compiled schedule: seeded once per
+  // frame, never evaluated.
+  for (std::uint32_t id = 0;
+       id < static_cast<std::uint32_t>(compiled_->num_nodes()); ++id) {
+    const NodeKind kind = compiled_->kind(id);
+    if (kind == NodeKind::kConst0) values_[id] = Vec3<W>::Broadcast(V3::k0);
+    if (kind == NodeKind::kConst1) values_[id] = Vec3<W>::Broadcast(V3::k1);
   }
   // Output-stem injections on sources must be applied up front.
-  for (NodeId id : touched_nodes_) {
-    const NodeKind kind = circuit_->node(id).kind;
-    if (kind != NodeKind::kInput && kind != NodeKind::kDff) continue;
-    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      if (inj.pin < 0) {
-        values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
-      }
+  for (std::uint32_t id : touched_nodes_) {
+    if (!IsSource(compiled_->kind(id))) continue;
+    for (const Injection& inj : by_node_[id]) {
+      if (inj.pin < 0) values_[id].SetLane(inj.lane, inj.value);
     }
   }
 }
 
-void ParallelFrame::EvalNode(NodeId id, std::vector<Word3>& fanin_words) {
-  const Node& node = circuit_->node(id);
-  fanin_words.clear();
-  for (NodeId driver : node.fanin) {
-    fanin_words.push_back(values_[static_cast<size_t>(driver)]);
+template <int W>
+Vec3<W> WideFrame<W>::EvalFromValues(std::uint32_t id) const {
+  const auto fanin = compiled_->fanins(id);
+  const Vec3<W>* v = values_.data();
+  switch (compiled_->kind(id)) {
+    case NodeKind::kOutput:
+    case NodeKind::kBuf:
+      return v[fanin[0]];
+    case NodeKind::kNot:
+      return NotV(v[fanin[0]]);
+    case NodeKind::kAnd:
+    case NodeKind::kNand: {
+      Vec3<W> acc = v[fanin[0]];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = AndV(acc, v[fanin[i]]);
+      return compiled_->kind(id) == NodeKind::kAnd ? acc : NotV(acc);
+    }
+    case NodeKind::kOr:
+    case NodeKind::kNor: {
+      Vec3<W> acc = v[fanin[0]];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = OrV(acc, v[fanin[i]]);
+      return compiled_->kind(id) == NodeKind::kOr ? acc : NotV(acc);
+    }
+    case NodeKind::kXor:
+    case NodeKind::kXnor: {
+      Vec3<W> acc = v[fanin[0]];
+      for (size_t i = 1; i < fanin.size(); ++i) acc = XorV(acc, v[fanin[i]]);
+      return compiled_->kind(id) == NodeKind::kXor ? acc : NotV(acc);
+    }
+    default:
+      throw std::logic_error("WideFrame: source node in schedule");
   }
+}
+
+template <int W>
+void WideFrame<W>::EvalNodeInjected(std::uint32_t id) {
+  const auto fanin = compiled_->fanins(id);
+  fanin_scratch_.clear();
+  for (std::uint32_t driver : fanin) fanin_scratch_.push_back(values_[driver]);
   // Branch (input-pin) injections modify only this gate's view.
-  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+  for (const Injection& inj : by_node_[id]) {
     if (inj.pin >= 0) {
-      fanin_words[static_cast<size_t>(inj.pin)].SetLane(inj.lane, inj.value);
+      fanin_scratch_[static_cast<size_t>(inj.pin)].SetLane(inj.lane,
+                                                           inj.value);
     }
   }
-  Word3 out = node.kind == NodeKind::kOutput ? fanin_words[0]
-                                             : EvalGate64(node.kind, fanin_words);
+  const NodeKind kind = compiled_->kind(id);
+  Vec3<W> out = kind == NodeKind::kOutput
+                    ? fanin_scratch_[0]
+                    : EvalGateSpan<W>(kind, fanin_scratch_);
   // Output-stem injections force the computed value.
-  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
+  for (const Injection& inj : by_node_[id]) {
     if (inj.pin < 0) out.SetLane(inj.lane, inj.value);
   }
-  values_[static_cast<size_t>(id)] = out;
+  values_[id] = out;
 }
 
-void ParallelFrame::Latch(std::vector<Word3>& state, size_t dff_index) {
-  const NodeId id = circuit_->dffs()[dff_index];
-  const Node& dff = circuit_->node(id);
-  Word3 d = values_[static_cast<size_t>(dff.fanin[0])];
-  // Branch injections on the DFF's data pin.
-  for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-    if (inj.pin >= 0) d.SetLane(inj.lane, inj.value);
-  }
-  state[dff_index] = d;
-}
-
-void ParallelFrame::Validate(std::span<const V3> inputs,
-                             const std::vector<Word3>& state) const {
-  if (inputs.size() != static_cast<size_t>(circuit_->num_inputs()) ||
-      state.size() != static_cast<size_t>(circuit_->num_dffs())) {
-    throw std::invalid_argument("ParallelFrame::Step: width mismatch");
+template <int W>
+void WideFrame<W>::Validate(std::span<const V3> inputs,
+                            const std::vector<Vec3<W>>& state) const {
+  if (inputs.size() != compiled_->inputs().size() ||
+      state.size() != compiled_->dffs().size()) {
+    throw std::invalid_argument("WideFrame::Step: width mismatch");
   }
 }
 
-void ParallelFrame::Step(std::span<const V3> inputs,
-                         std::vector<Word3>& state) {
+template <int W>
+void WideFrame<W>::Step(std::span<const V3> inputs,
+                        std::vector<Vec3<W>>& state) {
   Validate(inputs, state);
-  const auto& dffs = circuit_->dffs();
-  for (size_t i = 0; i < dffs.size(); ++i) {
-    values_[static_cast<size_t>(dffs[i])] = state[i];
-  }
+  const auto dffs = compiled_->dffs();
+  for (size_t i = 0; i < dffs.size(); ++i) values_[dffs[i]] = state[i];
   SeedSources(inputs);
-  for (NodeId id : levels_.order) {
-    const NodeKind kind = circuit_->node(id).kind;
-    if (kind == NodeKind::kInput || kind == NodeKind::kDff) continue;
-    EvalNode(id, fanin_scratch_);
+  for (std::uint32_t id : compiled_->schedule()) {
+    if (by_node_[id].empty()) {
+      values_[id] = EvalFromValues(id);
+    } else {
+      EvalNodeInjected(id);
+    }
     ++gate_evals_;
   }
-  for (size_t i = 0; i < dffs.size(); ++i) Latch(state, i);
+  // Clock edge: latch every DFF's D, with branch injections on the
+  // data pin applied to the latched view only.
+  for (size_t i = 0; i < dffs.size(); ++i) {
+    Vec3<W> d = values_[compiled_->dff_data(i)];
+    for (const Injection& inj : by_node_[dffs[i]]) {
+      if (inj.pin >= 0) d.SetLane(inj.lane, inj.value);
+    }
+    state[i] = d;
+  }
 }
 
-void ParallelFrame::Step(std::span<const V3> inputs, std::vector<Word3>& state,
-                         std::span<const Word3> good_frame) {
+template <int W>
+void WideFrame<W>::Step(std::span<const V3> inputs,
+                        std::vector<Vec3<W>>& state,
+                        std::span<const Vec3<W>> good_frame) {
   if (!cone_mode_) {
     throw std::logic_error(
-        "ParallelFrame::Step(good_frame): call RestrictToInjectionCones first");
+        "WideFrame::Step(good_frame): call RestrictToInjectionCones first");
   }
   Validate(inputs, state);
   if (good_frame.size() != values_.size()) {
-    throw std::invalid_argument("ParallelFrame::Step: good frame mismatch");
+    throw std::invalid_argument("WideFrame::Step: good frame mismatch");
   }
-  const Word3* good = good_frame.data();
-  const std::uint64_t live = active_lanes_;
-  // Dropped lanes are clamped to the good machine wherever a word
+  const Vec3<W>* good = good_frame.data();
+  const LaneMask<W> live = active_lanes_;
+  // Dropped lanes are clamped to the good machine wherever a vector
   // enters the frontier, so retired faults generate no events.
-  auto clamp = [&](Word3 v, NodeId id) {
-    const Word3& g = good[static_cast<size_t>(id)];
-    return Word3{(v.one & live) | (g.one & ~live),
-                 (v.zero & live) | (g.zero & ~live)};
+  auto clamp = [&](const Vec3<W>& v, std::uint32_t id) {
+    const Vec3<W>& g = good[id];
+    Vec3<W> r;
+    for (int w = 0; w < W; ++w) {
+      r.one[w] = (v.one[w] & live.bits[w]) | (g.one[w] & ~live.bits[w]);
+      r.zero[w] = (v.zero[w] & live.bits[w]) | (g.zero[w] & ~live.bits[w]);
+    }
+    return r;
   };
-  auto schedule_fanouts = [&](NodeId id) {
-    for (NodeId sink : circuit_->node(id).fanout) {
-      const size_t si = static_cast<size_t>(sink);
-      if (!in_cone_[si] || scheduled_[si]) continue;
-      if (circuit_->node(sink).kind == NodeKind::kDff) continue;  // latched
-      scheduled_[si] = 1;
-      buckets_[static_cast<size_t>(levels_.level[si])].push_back(sink);
+  auto schedule_fanouts = [&](std::uint32_t id) {
+    for (std::uint32_t sink : compiled_->fanouts(id)) {
+      if (!in_cone_[sink] || scheduled_[sink]) continue;
+      if (compiled_->kind(sink) == NodeKind::kDff) continue;  // latched
+      scheduled_[sink] = 1;
+      buckets_[static_cast<size_t>(compiled_->level(sink))].push_back(sink);
     }
   };
-  auto mark = [&](NodeId id) {
-    const size_t i = static_cast<size_t>(id);
-    const bool now = values_[i] != good[i];
-    if (now && !dirty_[i]) dirty_list_.push_back(id);
-    dirty_[i] = now;
+  auto mark = [&](std::uint32_t id) {
+    const bool now = values_[id] != good[id];
+    if (now && !dirty_[id]) dirty_list_.push_back(id);
+    dirty_[id] = now;
     return now;
   };
 
   // Last frame's dirty flags are stale: a node off this frame's
   // frontier is clean by construction.
-  for (NodeId id : dirty_list_) dirty_[static_cast<size_t>(id)] = 0;
+  for (std::uint32_t id : dirty_list_) dirty_[id] = 0;
   dirty_list_.clear();
 
   // Seed the frontier.  A cone DFF is dirty when some live lane
   // latched a value the good machine did not; an injected source is
   // dirty when the forced lane disagrees with the good value this
   // frame (fault excitation).
-  const auto& dffs = circuit_->dffs();
+  const auto dffs = compiled_->dffs();
   for (size_t i : cone_dffs_) {
-    const NodeId id = dffs[i];
-    values_[static_cast<size_t>(id)] = clamp(state[i], id);
+    const std::uint32_t id = dffs[i];
+    values_[id] = clamp(state[i], id);
     if (mark(id)) schedule_fanouts(id);
   }
-  for (NodeId id : touched_nodes_) {
-    const NodeKind kind = circuit_->node(id).kind;
-    if (kind != NodeKind::kInput && kind != NodeKind::kDff) continue;
-    // A PI's good word is the broadcast input itself.
-    if (kind == NodeKind::kInput) {
-      values_[static_cast<size_t>(id)] = good[static_cast<size_t>(id)];
-    }
-    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      if (inj.pin < 0 && (live >> inj.lane) & 1) {
-        values_[static_cast<size_t>(id)].SetLane(inj.lane, inj.value);
+  for (std::uint32_t id : touched_nodes_) {
+    const NodeKind kind = compiled_->kind(id);
+    if (!IsSource(kind)) continue;
+    // A non-DFF source's good word is its broadcast value itself.
+    if (kind != NodeKind::kDff) values_[id] = good[id];
+    for (const Injection& inj : by_node_[id]) {
+      if (inj.pin < 0 && live.test(inj.lane)) {
+        values_[id].SetLane(inj.lane, inj.value);
       }
     }
     if (mark(id)) schedule_fanouts(id);
   }
   for (const auto& [id, mask] : forced_) {
-    const size_t i = static_cast<size_t>(id);
-    if ((mask & live) && !scheduled_[i]) {
-      scheduled_[i] = 1;
-      buckets_[static_cast<size_t>(levels_.level[i])].push_back(id);
+    if (mask.intersects(live) && !scheduled_[id]) {
+      scheduled_[id] = 1;
+      buckets_[static_cast<size_t>(compiled_->level(id))].push_back(id);
     }
   }
 
@@ -304,30 +372,29 @@ void ParallelFrame::Step(std::span<const V3> inputs, std::vector<Word3>& state,
   // strictly deeper sinks, so each bucket is complete when reached.
   for (auto& bucket : buckets_) {
     for (size_t bi = 0; bi < bucket.size(); ++bi) {
-      const NodeId id = bucket[bi];
-      scheduled_[static_cast<size_t>(id)] = 0;
-      const Node& node = circuit_->node(id);
+      const std::uint32_t id = bucket[bi];
+      scheduled_[id] = 0;
       fanin_scratch_.clear();
-      for (NodeId driver : node.fanin) {
-        fanin_scratch_.push_back(dirty_[static_cast<size_t>(driver)]
-                                     ? values_[static_cast<size_t>(driver)]
-                                     : good[static_cast<size_t>(driver)]);
+      for (std::uint32_t driver : compiled_->fanins(id)) {
+        fanin_scratch_.push_back(dirty_[driver] ? values_[driver]
+                                                : good[driver]);
       }
-      for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-        if (inj.pin >= 0 && (live >> inj.lane) & 1) {
+      for (const Injection& inj : by_node_[id]) {
+        if (inj.pin >= 0 && live.test(inj.lane)) {
           fanin_scratch_[static_cast<size_t>(inj.pin)].SetLane(inj.lane,
                                                                inj.value);
         }
       }
-      Word3 out = node.kind == NodeKind::kOutput
-                      ? fanin_scratch_[0]
-                      : EvalGate64(node.kind, fanin_scratch_);
-      for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-        if (inj.pin < 0 && (live >> inj.lane) & 1) {
+      const NodeKind kind = compiled_->kind(id);
+      Vec3<W> out = kind == NodeKind::kOutput
+                        ? fanin_scratch_[0]
+                        : EvalGateSpan<W>(kind, fanin_scratch_);
+      for (const Injection& inj : by_node_[id]) {
+        if (inj.pin < 0 && live.test(inj.lane)) {
           out.SetLane(inj.lane, inj.value);
         }
       }
-      values_[static_cast<size_t>(id)] = clamp(out, id);
+      values_[id] = clamp(out, id);
       if (mark(id)) schedule_fanouts(id);
       ++gate_evals_;
     }
@@ -336,18 +403,25 @@ void ParallelFrame::Step(std::span<const V3> inputs, std::vector<Word3>& state,
 
   // Clock edge for cone registers only.
   for (size_t i : cone_dffs_) {
-    const NodeId id = dffs[i];
-    const NodeId d_node = circuit_->node(id).fanin[0];
-    Word3 d = dirty_[static_cast<size_t>(d_node)]
-                  ? values_[static_cast<size_t>(d_node)]
-                  : good[static_cast<size_t>(d_node)];
-    for (const Injection& inj : by_node_[static_cast<size_t>(id)]) {
-      if (inj.pin >= 0 && (live >> inj.lane) & 1) {
+    const std::uint32_t d_node = compiled_->dff_data(i);
+    Vec3<W> d = dirty_[d_node] ? values_[d_node] : good[d_node];
+    for (const Injection& inj : by_node_[dffs[i]]) {
+      if (inj.pin >= 0 && live.test(inj.lane)) {
         d.SetLane(inj.lane, inj.value);
       }
     }
     state[i] = d;
   }
 }
+
+template class WideTrace<1>;
+template class WideTrace<4>;
+template class WideTrace<8>;
+template class WideFrame<1>;
+template class WideFrame<4>;
+template class WideFrame<8>;
+template Vec3<1> EvalGateWide<1>(NodeKind, std::span<const Vec3<1>>);
+template Vec3<4> EvalGateWide<4>(NodeKind, std::span<const Vec3<4>>);
+template Vec3<8> EvalGateWide<8>(NodeKind, std::span<const Vec3<8>>);
 
 }  // namespace retest::sim

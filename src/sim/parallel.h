@@ -1,76 +1,233 @@
-// 64-way bit-parallel 3-valued logic.
+// W-lane bit-parallel 3-valued logic (the PROOFS machine-word engine,
+// generalized over SIMD width).
 //
-// A Word3 packs 64 independent 3-valued values: bit i of `one` set
-// means machine i sees 1, bit i of `zero` set means it sees 0, neither
-// means X (both set is invalid).  This is the PROOFS-style engine: one
-// machine word simulates 64 faulty machines at once.
+// A Vec3<W> packs 64*W independent 3-valued values as two planes of W
+// machine words: bit i of plane `one` set means machine i sees 1, bit
+// i of plane `zero` set means it sees 0, neither means X (both set is
+// invalid).  W=1 is the classic 1990-era PROOFS width (one uint64_t
+// per plane, 64 faulty machines per pass); W=4 is one AVX2 register
+// per plane (256 machines); W=8 is one AVX-512 register (512
+// machines).  All widths are implemented as portable word loops —
+// building with -mavx2/-mavx512f (the REPRO_SIMD CMake option, see
+// sim/simd.h and docs/SIMD.md) lets the compiler collapse them into
+// single vector instructions, and every width computes bit-identical
+// per-lane results either way.
+//
+// WideFrame<W> is the frame evaluator over these words.  It runs on a
+// CompiledNetlist (sim/compiled.h): flattened CSR fanin/fanout arrays
+// and a level-contiguous, kind-batched evaluation schedule, instead of
+// chasing per-node std::vector pointers through the Circuit on every
+// gate evaluation.
 #pragma once
 
+#include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
-#include <utility>
-
 #include "netlist/circuit.h"
+#include "sim/compiled.h"
 #include "sim/levelizer.h"
 #include "sim/logic3.h"
 #include "sim/simulator.h"
 
 namespace retest::sim {
 
-/// 64 packed 3-valued values.
-struct Word3 {
-  std::uint64_t one = 0;
-  std::uint64_t zero = 0;
+/// 64*W packed 3-valued values (two bit-planes of W machine words).
+template <int W>
+struct Vec3 {
+  static_assert(W >= 1);
+  /// Lanes per vector: the number of faulty machines one Vec3 carries.
+  static constexpr int kLanes = 64 * W;
 
-  /// Broadcasts a scalar value to all 64 lanes.
-  static Word3 Broadcast(V3 v) {
+  std::array<std::uint64_t, W> one{};
+  std::array<std::uint64_t, W> zero{};
+
+  /// Broadcasts a scalar value to all lanes.
+  static Vec3 Broadcast(V3 v) {
+    Vec3 r;
     switch (v) {
-      case V3::k0: return {0, ~0ull};
-      case V3::k1: return {~0ull, 0};
-      default: return {0, 0};
+      case V3::k0: r.zero.fill(~0ull); break;
+      case V3::k1: r.one.fill(~0ull); break;
+      default: break;
     }
+    return r;
   }
 
-  /// Value of lane i.
+  /// Value of lane i.  The shift is performed on the masked unsigned
+  /// bit index, so it is well defined for every in-range lane (the
+  /// 1995 code shifted `1ull << i` with a signed int — UB from lane 64
+  /// up, exactly where the wide widths live); out-of-range lanes are
+  /// an assertion failure.
   V3 Lane(int i) const {
-    const std::uint64_t m = 1ull << i;
-    if (one & m) return V3::k1;
-    if (zero & m) return V3::k0;
+    assert(i >= 0 && i < kLanes);
+    const auto word = static_cast<unsigned>(i) >> 6;
+    const std::uint64_t m = 1ull << (static_cast<unsigned>(i) & 63u);
+    if (one[word % W] & m) return V3::k1;
+    if (zero[word % W] & m) return V3::k0;
     return V3::kX;
   }
 
-  /// Forces lane i to a binary value.
+  /// Forces lane i to a binary value (same domain contract as Lane).
   void SetLane(int i, bool v) {
-    const std::uint64_t m = 1ull << i;
+    assert(i >= 0 && i < kLanes);
+    const auto word = static_cast<unsigned>(i) >> 6;
+    const std::uint64_t m = 1ull << (static_cast<unsigned>(i) & 63u);
     if (v) {
-      one |= m;
-      zero &= ~m;
+      one[word % W] |= m;
+      zero[word % W] &= ~m;
     } else {
-      zero |= m;
-      one &= ~m;
+      zero[word % W] |= m;
+      one[word % W] &= ~m;
     }
   }
 
-  friend bool operator==(const Word3&, const Word3&) = default;
+  friend bool operator==(const Vec3&, const Vec3&) = default;
 };
 
-inline Word3 Not64(Word3 a) { return {a.zero, a.one}; }
-
-inline Word3 And64(Word3 a, Word3 b) {
-  return {a.one & b.one, a.zero | b.zero};
+/// The 3-valued algebra, word-parallel over all lanes.  Plain loops by
+/// design: at W=4/8 the compiler vectorizes each plane op into one
+/// AVX2/AVX-512 instruction when the build enables those extensions.
+template <int W>
+inline Vec3<W> NotV(const Vec3<W>& a) {
+  Vec3<W> r;
+  r.one = a.zero;
+  r.zero = a.one;
+  return r;
 }
 
-inline Word3 Or64(Word3 a, Word3 b) { return {a.one | b.one, a.zero & b.zero}; }
-
-inline Word3 Xor64(Word3 a, Word3 b) {
-  return {(a.one & b.zero) | (a.zero & b.one),
-          (a.one & b.one) | (a.zero & b.zero)};
+template <int W>
+inline Vec3<W> AndV(const Vec3<W>& a, const Vec3<W>& b) {
+  Vec3<W> r;
+  for (int w = 0; w < W; ++w) {
+    r.one[w] = a.one[w] & b.one[w];
+    r.zero[w] = a.zero[w] | b.zero[w];
+  }
+  return r;
 }
 
-/// Evaluates a combinational gate over 64-way words.
-Word3 EvalGate64(netlist::NodeKind kind, std::span<const Word3> fanin);
+template <int W>
+inline Vec3<W> OrV(const Vec3<W>& a, const Vec3<W>& b) {
+  Vec3<W> r;
+  for (int w = 0; w < W; ++w) {
+    r.one[w] = a.one[w] | b.one[w];
+    r.zero[w] = a.zero[w] & b.zero[w];
+  }
+  return r;
+}
+
+template <int W>
+inline Vec3<W> XorV(const Vec3<W>& a, const Vec3<W>& b) {
+  Vec3<W> r;
+  for (int w = 0; w < W; ++w) {
+    r.one[w] = (a.one[w] & b.zero[w]) | (a.zero[w] & b.one[w]);
+    r.zero[w] = (a.one[w] & b.one[w]) | (a.zero[w] & b.zero[w]);
+  }
+  return r;
+}
+
+/// The classic 64-lane word and its operators, now the W=1 instance.
+using Word3 = Vec3<1>;
+
+inline Word3 Not64(Word3 a) { return NotV(a); }
+inline Word3 And64(Word3 a, Word3 b) { return AndV(a, b); }
+inline Word3 Or64(Word3 a, Word3 b) { return OrV(a, b); }
+inline Word3 Xor64(Word3 a, Word3 b) { return XorV(a, b); }
+
+/// Evaluates a combinational gate over W-word vectors.
+template <int W>
+Vec3<W> EvalGateWide(netlist::NodeKind kind, std::span<const Vec3<W>> fanin);
+
+/// 64-lane compatibility name.
+inline Word3 EvalGate64(netlist::NodeKind kind,
+                        std::span<const Word3> fanin) {
+  return EvalGateWide<1>(kind, fanin);
+}
+
+/// A set of lanes (one bit per faulty machine), W words wide.  Used
+/// for PROOFS fault dropping and the detection scan.
+template <int W>
+struct LaneMask {
+  std::array<std::uint64_t, W> bits{};
+
+  static LaneMask None() { return {}; }
+  static LaneMask All() {
+    LaneMask m;
+    m.bits.fill(~0ull);
+    return m;
+  }
+  /// The first n lanes set (a partial final batch's live set).
+  static LaneMask FirstN(int n) {
+    assert(n >= 0 && n <= 64 * W);
+    LaneMask m;
+    for (int w = 0; w < W && n > 0; ++w, n -= 64) {
+      m.bits[w] = n >= 64 ? ~0ull : ((1ull << (static_cast<unsigned>(n) & 63u)) - 1);
+    }
+    return m;
+  }
+
+  bool test(int lane) const {
+    assert(lane >= 0 && lane < 64 * W);
+    return (bits[static_cast<unsigned>(lane) >> 6] >>
+            (static_cast<unsigned>(lane) & 63u)) & 1;
+  }
+  void set(int lane) {
+    assert(lane >= 0 && lane < 64 * W);
+    bits[static_cast<unsigned>(lane) >> 6] |=
+        1ull << (static_cast<unsigned>(lane) & 63u);
+  }
+  void reset(int lane) {
+    assert(lane >= 0 && lane < 64 * W);
+    bits[static_cast<unsigned>(lane) >> 6] &=
+        ~(1ull << (static_cast<unsigned>(lane) & 63u));
+  }
+
+  bool any() const {
+    for (int w = 0; w < W; ++w) {
+      if (bits[w] != 0) return true;
+    }
+    return false;
+  }
+  int count() const {
+    int n = 0;
+    for (int w = 0; w < W; ++w) n += std::popcount(bits[w]);
+    return n;
+  }
+  bool intersects(const LaneMask& other) const {
+    for (int w = 0; w < W; ++w) {
+      if (bits[w] & other.bits[w]) return true;
+    }
+    return false;
+  }
+
+  LaneMask& operator&=(const LaneMask& o) {
+    for (int w = 0; w < W; ++w) bits[w] &= o.bits[w];
+    return *this;
+  }
+  LaneMask& operator|=(const LaneMask& o) {
+    for (int w = 0; w < W; ++w) bits[w] |= o.bits[w];
+    return *this;
+  }
+  LaneMask operator~() const {
+    LaneMask r;
+    for (int w = 0; w < W; ++w) r.bits[w] = ~bits[w];
+    return r;
+  }
+  friend LaneMask operator&(LaneMask a, const LaneMask& b) {
+    a &= b;
+    return a;
+  }
+  friend LaneMask operator|(LaneMask a, const LaneMask& b) {
+    a |= b;
+    return a;
+  }
+
+  friend bool operator==(const LaneMask&, const LaneMask&) = default;
+};
 
 /// A forced value at a fault site, applied during frame evaluation.
 /// `pin == -1` forces the node's output (stem fault); `pin >= 0` forces
@@ -79,42 +236,48 @@ struct Injection {
   netlist::NodeId node = netlist::kNoNode;
   int pin = -1;
   bool value = false;  ///< stuck-at value
-  int lane = 0;        ///< which of the 64 machines it applies to
+  int lane = 0;        ///< which of the frame's 64*W machines it applies to
 };
 
-/// Broadcast (Word3) image of a good-machine Trace: one word per node
+/// Broadcast (Vec3) image of a good-machine Trace: one vector per node
 /// per frame, shared read-only across batches and threads.  Cone-mode
 /// evaluation compares against and seeds from these words directly,
 /// instead of re-broadcasting scalar trace values on every access.
-class WordTrace {
+template <int W>
+class WideTrace {
  public:
-  explicit WordTrace(const Trace& trace);
+  explicit WideTrace(const Trace& trace);
 
   size_t num_frames() const { return frames_; }
 
-  /// All node words of the good machine at frame t.
-  std::span<const Word3> frame(size_t t) const {
+  /// All node vectors of the good machine at frame t.
+  std::span<const Vec3<W>> frame(size_t t) const {
     return {words_.data() + t * num_nodes_, num_nodes_};
   }
 
  private:
   size_t frames_ = 0;
   size_t num_nodes_ = 0;
-  std::vector<Word3> words_;  // frame-major
+  std::vector<Vec3<W>> words_;  // frame-major
 };
 
-/// One-clock-frame evaluator over 64 parallel machines with fault
-/// injection.  Owns per-node word storage; the caller owns the state.
+/// 64-lane compatibility name.
+using WordTrace = WideTrace<1>;
+
+/// One-clock-frame evaluator over 64*W parallel machines with fault
+/// injection.  Owns per-node vector storage; the caller owns the state.
 ///
 /// Two evaluation modes:
-///  - full (default): every node is evaluated on every Step.
+///  - full (default): every scheduled node is evaluated on every Step,
+///    walking the CompiledNetlist's level-contiguous, kind-batched
+///    schedule over CSR fanin runs.
 ///  - cone-restricted: after RestrictToInjectionCones(), evaluation is
 ///    limited to the union of the injection sites' structural fanout
 ///    cones (transitive through DFFs) — the activity mask.  Everything
 ///    outside behaves exactly like the good machine and is read from a
-///    cached good-machine WordTrace (the PROOFS insight: a fault cannot
+///    cached good-machine WideTrace (the PROOFS insight: a fault cannot
 ///    perturb values outside its fanout cone).  Within the cone the
-///    evaluation is event-driven: dirty nodes (word differs from the
+///    evaluation is event-driven: dirty nodes (vector differs from the
 ///    good machine this frame) schedule their cone fanouts into
 ///    per-level buckets, so only gates on the active frontier are
 ///    visited at all.  Detected faults can be retired per lane with
@@ -122,9 +285,14 @@ class WordTrace {
 ///    machine and stop generating events.  Per-frame cost falls from
 ///    O(|circuit|) to O(|active frontier|), which decays as faults are
 ///    detected and dropped.
-class ParallelFrame {
+template <int W>
+class WideFrame {
  public:
-  explicit ParallelFrame(const netlist::Circuit& circuit);
+  /// Compiles the circuit privately.  Prefer the shared-netlist
+  /// overload when many frames evaluate the same circuit (the PROOFS
+  /// batch workers share one CompiledNetlist).
+  explicit WideFrame(const netlist::Circuit& circuit);
+  explicit WideFrame(std::shared_ptr<const CompiledNetlist> compiled);
 
   /// Installs the set of active injections (grouped by node internally)
   /// and drops any cone restriction from a previous batch.
@@ -144,40 +312,46 @@ class ParallelFrame {
   int cone_size() const { return cone_size_; }
 
   /// Evaluates one frame (full mode): seeds PIs with broadcast scalar
-  /// inputs and DFF outputs from `state` (one Word3 per DFF), applies
+  /// inputs and DFF outputs from `state` (one Vec3 per DFF), applies
   /// injections, and leaves all node values readable via value().  Then
   /// latches the next state into `state`.
-  void Step(std::span<const V3> inputs, std::vector<Word3>& state);
+  void Step(std::span<const V3> inputs, std::vector<Vec3<W>>& state);
 
   /// Cone-restricted frame: like Step, but only cone nodes on the
   /// active frontier are evaluated; everything else matches
-  /// `good_frame` (all node words of the good machine at this frame,
-  /// i.e. WordTrace::frame(t)).  Only cone entries of `state` are
+  /// `good_frame` (all node vectors of the good machine at this frame,
+  /// i.e. WideTrace::frame(t)).  Only cone entries of `state` are
   /// maintained; read results via word() and dirty(), not value().
-  void Step(std::span<const V3> inputs, std::vector<Word3>& state,
-            std::span<const Word3> good_frame);
+  void Step(std::span<const V3> inputs, std::vector<Vec3<W>>& state,
+            std::span<const Vec3<W>> good_frame);
 
-  /// Retires the given lanes (bitmask): their injections stop being
-  /// applied and their words are clamped to the good machine, so the
-  /// dropped faults generate no further events.  PROOFS fault dropping
-  /// at lane granularity.  Cleared by SetInjections.
-  void DropLanes(std::uint64_t lanes) { active_lanes_ &= ~lanes; }
+  /// Retires the given lanes: their injections stop being applied and
+  /// their words are clamped to the good machine, so the dropped
+  /// faults generate no further events.  PROOFS fault dropping at lane
+  /// granularity.  Cleared by SetInjections.
+  void DropLanes(const LaneMask<W>& lanes) {
+    active_lanes_ &= ~lanes;
+  }
+  /// Convenience for the first 64 lanes (the whole frame at W=1).
+  void DropLanes(std::uint64_t lanes) {
+    active_lanes_.bits[0] &= ~lanes;
+  }
 
-  /// Word currently on a node's output net.  In cone-restricted mode
+  /// Vector currently on a node's output net.  In cone-restricted mode
   /// this is only valid for dirty(id) nodes — use word() elsewhere.
-  const Word3& value(netlist::NodeId id) const {
+  const Vec3<W>& value(netlist::NodeId id) const {
     return values_[static_cast<size_t>(id)];
   }
 
-  /// True when the node's word differs from the good machine in some
+  /// True when the node's vector differs from the good machine in some
   /// lane this frame (cone-restricted mode; clean nodes were skipped).
   bool dirty(netlist::NodeId id) const {
     return dirty_[static_cast<size_t>(id)] != 0;
   }
 
-  /// Node value in cone-restricted mode: the evaluated word for dirty
-  /// nodes, the good-machine word for clean ones.
-  Word3 word(netlist::NodeId id, std::span<const Word3> good_frame) const {
+  /// Node value in cone-restricted mode: the evaluated vector for dirty
+  /// nodes, the good-machine vector for clean ones.
+  Vec3<W> word(netlist::NodeId id, std::span<const Vec3<W>> good_frame) const {
     return dirty(id) ? values_[static_cast<size_t>(id)]
                      : good_frame[static_cast<size_t>(id)];
   }
@@ -188,48 +362,67 @@ class ParallelFrame {
   const std::vector<int>& active_outputs() const { return active_outputs_; }
 
   /// Node evaluations performed by Step since construction / the last
-  /// ResetStats (deterministic work measure; each counts 64 machines).
+  /// ResetStats (deterministic work measure; each counts 64*W
+  /// machines).
   long gate_evals() const { return gate_evals_; }
   void ResetStats() { gate_evals_ = 0; }
 
-  const netlist::Circuit& circuit() const { return *circuit_; }
+  const netlist::Circuit& circuit() const { return compiled_->circuit(); }
+  const CompiledNetlist& compiled() const { return *compiled_; }
 
  private:
   void Validate(std::span<const V3> inputs,
-                const std::vector<Word3>& state) const;
+                const std::vector<Vec3<W>>& state) const;
   void SeedSources(std::span<const V3> inputs);
-  void EvalNode(netlist::NodeId id, std::vector<Word3>& fanin_words);
-  void Latch(std::vector<Word3>& state, size_t dff_index);
+  /// Gate function over current values_, straight from the CSR fanin
+  /// run (no injections).
+  Vec3<W> EvalFromValues(std::uint32_t id) const;
+  /// Full evaluation of one node with this node's injections applied.
+  void EvalNodeInjected(std::uint32_t id);
 
-  const netlist::Circuit* circuit_;
-  Levelization levels_;
-  std::vector<Word3> values_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
+  std::vector<Vec3<W>> values_;
   // Injections indexed by node id; empty vectors for untouched nodes.
   std::vector<std::vector<Injection>> by_node_;
-  std::vector<netlist::NodeId> touched_nodes_;
+  std::vector<std::uint32_t> touched_nodes_;
   // All output indices, for active_outputs() in full mode.
   std::vector<int> all_outputs_;
-  // NodeId -> primary-input index (-1 elsewhere), for seeding injected
-  // PIs in cone mode.
-  std::vector<int> pi_index_;
 
   // Cone restriction (valid while cone_mode_):
   bool cone_mode_ = false;
   int cone_size_ = 0;
-  std::uint64_t active_lanes_ = ~0ull;  // lanes not yet dropped
-  std::vector<char> in_cone_;           // activity mask, per node
-  std::vector<char> dirty_;             // word differs from good
-  std::vector<netlist::NodeId> dirty_list_;  // nodes with dirty_ set
+  LaneMask<W> active_lanes_ = LaneMask<W>::All();  // lanes not yet dropped
+  std::vector<char> in_cone_;                // activity mask, per node
+  std::vector<char> dirty_;                  // vector differs from good
+  std::vector<std::uint32_t> dirty_list_;    // nodes with dirty_ set
   std::vector<char> scheduled_;              // queued for eval this frame
-  std::vector<std::vector<netlist::NodeId>> buckets_;  // event queue, by level
+  std::vector<std::vector<std::uint32_t>> buckets_;  // event queue, by level
   // Cone gates/POs carrying injections (node, lane mask): always
   // scheduled while any of their lanes is still active.
-  std::vector<std::pair<netlist::NodeId, std::uint64_t>> forced_;
+  std::vector<std::pair<std::uint32_t, LaneMask<W>>> forced_;
   std::vector<size_t> cone_dffs_;  // dff indices latched in cone mode
   std::vector<int> active_outputs_;
 
-  std::vector<Word3> fanin_scratch_;
+  std::vector<Vec3<W>> fanin_scratch_;
   long gate_evals_ = 0;
 };
+
+/// The classic 64-lane engine is the W=1 instance.
+using ParallelFrame = WideFrame<1>;
+
+// The supported widths are instantiated once in sim/parallel.cpp
+// (64 / 256 / 512 lanes; see sim/simd.h for the dispatch policy).
+extern template class WideTrace<1>;
+extern template class WideTrace<4>;
+extern template class WideTrace<8>;
+extern template class WideFrame<1>;
+extern template class WideFrame<4>;
+extern template class WideFrame<8>;
+extern template Vec3<1> EvalGateWide<1>(netlist::NodeKind,
+                                        std::span<const Vec3<1>>);
+extern template Vec3<4> EvalGateWide<4>(netlist::NodeKind,
+                                        std::span<const Vec3<4>>);
+extern template Vec3<8> EvalGateWide<8>(netlist::NodeKind,
+                                        std::span<const Vec3<8>>);
 
 }  // namespace retest::sim

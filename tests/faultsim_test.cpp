@@ -261,6 +261,80 @@ TEST(Proofs, ConeRestrictedThreadedMatchesSerialOnRandomCircuits) {
   EXPECT_TRUE(saw_branch);
 }
 
+// The SIMD determinism gate (docs/SIMD.md): detections — flag AND
+// detection time — are bit-identical across every lane width, at one
+// and many threads, with cone restriction plus fault dropping (which
+// exercises DropLanes on partially-live words) and in full-evaluation
+// mode, and always equal to the scalar serial reference.  Fault counts
+// here are nowhere near multiples of 256/512, so every wide run ends
+// in a partial final batch with masked dead lanes.
+TEST(Proofs, LaneWidthDoesNotChangeDetections) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    retest::testing::RandomCircuitOptions copts;
+    copts.num_inputs = 3 + static_cast<int>(seed % 3);
+    copts.num_dffs = 2 + static_cast<int>(seed % 3);
+    copts.num_gates = 12 + static_cast<int>(seed % 24);
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed, copts);
+    const auto faults = fault::EnumerateFaults(circuit);
+    Rng rng{seed * 1181 + 7};
+    const InputSequence sequence = Random3Sequence(
+        rng, circuit.num_inputs(), 10 + static_cast<int>(seed % 16));
+    const auto serial = SimulateSerial(circuit, faults, sequence);
+
+    for (int lane_words : {1, 4, 8}) {
+      for (int threads : {1, hw}) {
+        for (bool cone : {true, false}) {
+          ProofsOptions options;
+          options.lane_words = lane_words;
+          options.num_threads = threads;
+          options.cone_restricted = cone;
+          // drop_detected stays on: detected lanes retire mid-sequence
+          // while later faults in the same word are still live.
+          const auto proofs =
+              SimulateProofs(circuit, faults, sequence, options);
+          EXPECT_EQ(proofs.lanes, 64 * lane_words);
+          ASSERT_EQ(serial.size(), proofs.detections.size());
+          for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i], proofs.detections[i])
+                << "seed " << seed << " lanes " << proofs.lanes
+                << " threads " << threads << " cone " << cone << ": "
+                << ToString(circuit, faults[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+// At a fixed lane width the work counters are thread-invariant; across
+// widths the frame count shrinks with batch count (wider batches,
+// fewer passes).
+TEST(Proofs, WiderLanesEvaluateFewerFrames) {
+  const Circuit circuit = retest::testing::MakeRandomCircuit(
+      11, {.num_inputs = 4, .num_dffs = 3, .num_gates = 30});
+  const auto faults = fault::EnumerateFaults(circuit);
+  ASSERT_GT(faults.size(), 64u) << "need several 64-lane batches";
+  Rng rng{77};
+  const InputSequence sequence = Random3Sequence(rng, 4, 20);
+  ProofsOptions options;
+  options.drop_detected = false;  // fixed frame count per batch
+  long frames[3] = {};
+  const int widths[3] = {1, 4, 8};
+  for (int w = 0; w < 3; ++w) {
+    options.lane_words = widths[w];
+    frames[w] = SimulateProofs(circuit, faults, sequence, options)
+                    .frames_evaluated;
+    const long batches =
+        static_cast<long>((faults.size() + 64u * widths[w] - 1) /
+                          (64u * static_cast<unsigned>(widths[w])));
+    EXPECT_EQ(frames[w], batches * static_cast<long>(sequence.size()));
+  }
+  EXPECT_GT(frames[0], frames[1]);
+  EXPECT_GE(frames[1], frames[2]);
+}
+
 TEST(Proofs, ConeRestrictionReducesGateEvals) {
   const Circuit circuit = retest::testing::MakeRandomCircuit(
       3, {.num_inputs = 4, .num_dffs = 4, .num_gates = 40});
@@ -269,6 +343,10 @@ TEST(Proofs, ConeRestrictionReducesGateEvals) {
   const InputSequence sequence = RandomSequence(rng, 4, 32);
   ProofsOptions cone;
   cone.drop_detected = false;
+  // Pin the classic 64-lane width: at 512 lanes this whole fault list
+  // fits one batch and its cone union spans the circuit, so there is
+  // nothing left for the restriction to skip.
+  cone.lane_words = 1;
   ProofsOptions full = cone;
   full.cone_restricted = false;
   const auto with_cone = SimulateProofs(circuit, faults, sequence, cone);

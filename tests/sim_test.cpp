@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <type_traits>
 
 #include "netlist/builder.h"
 #include "sim/levelizer.h"
@@ -243,6 +244,167 @@ TEST(ParallelFrame, StemInjectionAffectsAllSinks) {
   EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(9), V3::k1);
   EXPECT_EQ(frame.value(circuit.Find("g2")).Lane(9), V3::k1);
   EXPECT_EQ(frame.value(circuit.Find("g1")).Lane(0), V3::k0);
+}
+
+// ---- Wide (multi-word) kernels -------------------------------------
+
+template <typename T>
+class WideVec : public ::testing::Test {};
+using WideWidths = ::testing::Types<std::integral_constant<int, 1>,
+                                    std::integral_constant<int, 4>,
+                                    std::integral_constant<int, 8>>;
+TYPED_TEST_SUITE(WideVec, WideWidths);
+
+TYPED_TEST(WideVec, BroadcastLanesAndWordBoundaries) {
+  constexpr int W = TypeParam::value;
+  Vec3<W> v = Vec3<W>::Broadcast(V3::k1);
+  // Probe the first/last lane of every 64-bit word: cross-word index
+  // arithmetic is exactly where a lane<->word mapping bug would hide.
+  for (int w = 0; w < W; ++w) {
+    EXPECT_EQ(v.Lane(w * 64), V3::k1);
+    EXPECT_EQ(v.Lane(w * 64 + 63), V3::k1);
+  }
+  v.SetLane(Vec3<W>::kLanes - 1, false);
+  EXPECT_EQ(v.Lane(Vec3<W>::kLanes - 1), V3::k0);
+  if constexpr (W > 1) {
+    EXPECT_EQ(v.Lane(63), V3::k1);
+    EXPECT_EQ(v.Lane(64), V3::k1);
+    v.SetLane(64, true);
+    EXPECT_EQ(v.Lane(64), V3::k1);
+    EXPECT_EQ(v.Lane(65), V3::k1);
+  }
+  EXPECT_EQ(Vec3<W>::Broadcast(V3::kX).Lane(Vec3<W>::kLanes / 2), V3::kX);
+}
+
+TYPED_TEST(WideVec, MatchesScalarAlgebraInEveryWord) {
+  constexpr int W = TypeParam::value;
+  const V3 values[] = {V3::k0, V3::k1, V3::kX};
+  for (V3 a : values) {
+    for (V3 b : values) {
+      // Mixed-lane operands: lane L of wa holds `a` in even words and
+      // `b` in odd words, so the word loop cannot pass by accident.
+      Vec3<W> wa;
+      Vec3<W> wb;
+      for (int lane = 0; lane < Vec3<W>::kLanes; ++lane) {
+        const bool odd_word = ((lane >> 6) & 1) != 0;
+        const V3 va = odd_word ? b : a;
+        const V3 vb = odd_word ? a : b;
+        if (va != V3::kX) wa.SetLane(lane, va == V3::k1);
+        if (vb != V3::kX) wb.SetLane(lane, vb == V3::k1);
+      }
+      const Vec3<W> and_v = AndV(wa, wb);
+      const Vec3<W> or_v = OrV(wa, wb);
+      const Vec3<W> xor_v = XorV(wa, wb);
+      const Vec3<W> not_v = NotV(wa);
+      for (int lane = 0; lane < Vec3<W>::kLanes; lane += 17) {
+        const bool odd_word = ((lane >> 6) & 1) != 0;
+        const V3 va = odd_word ? b : a;
+        const V3 vb = odd_word ? a : b;
+        EXPECT_EQ(and_v.Lane(lane), And3(va, vb));
+        EXPECT_EQ(or_v.Lane(lane), Or3(va, vb));
+        EXPECT_EQ(xor_v.Lane(lane), Xor3(va, vb));
+        EXPECT_EQ(not_v.Lane(lane), Not3(va));
+      }
+    }
+  }
+}
+
+TYPED_TEST(WideVec, LaneIndexOutOfRangeAsserts) {
+  constexpr int W = TypeParam::value;
+  Vec3<W> v = Vec3<W>::Broadcast(V3::k0);
+  // The old Word3::Lane shifted by a signed, unchecked index (UB at
+  // i >= 64).  The rewrite asserts in debug builds and masks the shift
+  // in release builds, so the expression below is never UB.
+  EXPECT_DEBUG_DEATH((void)v.Lane(Vec3<W>::kLanes), "");
+  EXPECT_DEBUG_DEATH((void)v.Lane(-1), "");
+  EXPECT_DEBUG_DEATH(v.SetLane(Vec3<W>::kLanes, true), "");
+}
+
+TYPED_TEST(WideVec, EvalGateWideMatchesScalarEval) {
+  constexpr int W = TypeParam::value;
+  const V3 values[] = {V3::k0, V3::k1, V3::kX};
+  const NodeKind kinds[] = {NodeKind::kAnd, NodeKind::kNand, NodeKind::kOr,
+                            NodeKind::kNor, NodeKind::kXor, NodeKind::kXnor};
+  for (NodeKind kind : kinds) {
+    for (V3 a : values) {
+      for (V3 b : values) {
+        const Vec3<W> fanin[] = {Vec3<W>::Broadcast(a), Vec3<W>::Broadcast(b)};
+        const Vec3<W> out = EvalGateWide<W>(kind, fanin);
+        const V3 scalar_fanin[] = {a, b};
+        const V3 expect = EvalGate3(kind, scalar_fanin);
+        EXPECT_EQ(out.Lane(0), expect);
+        EXPECT_EQ(out.Lane(Vec3<W>::kLanes - 1), expect);
+      }
+    }
+  }
+}
+
+TYPED_TEST(WideVec, LaneMaskHelpers) {
+  constexpr int W = TypeParam::value;
+  using Mask = LaneMask<W>;
+  EXPECT_FALSE(Mask::None().any());
+  EXPECT_EQ(Mask::All().count(), 64 * W);
+  // FirstN at word-boundary counts.
+  for (int n : {0, 1, 63, 64, 64 * W - 1, 64 * W}) {
+    const Mask m = Mask::FirstN(n);
+    EXPECT_EQ(m.count(), n) << n;
+    if (n > 0) {
+      EXPECT_TRUE(m.test(n - 1));
+    }
+    if (n < 64 * W) {
+      EXPECT_FALSE(m.test(n));
+    }
+  }
+  Mask m;
+  m.set(64 * W - 1);
+  EXPECT_TRUE(m.any());
+  EXPECT_TRUE(m.intersects(Mask::All()));
+  EXPECT_FALSE(m.intersects(Mask::FirstN(64 * W - 1)));
+  m.reset(64 * W - 1);
+  EXPECT_FALSE(m.any());
+  EXPECT_EQ((~Mask::None()), Mask::All());
+  EXPECT_EQ((Mask::All() & Mask::FirstN(5)).count(), 5);
+  EXPECT_EQ((Mask::FirstN(3) | Mask::FirstN(7)).count(), 7);
+}
+
+TYPED_TEST(WideVec, WideFrameConeMatchesFullAtEveryWidth) {
+  constexpr int W = TypeParam::value;
+  // Same structure as ConeRestrictedStepMatchesFullEvaluation, but the
+  // injection sits in the last lane of the last word and the frames
+  // are W words wide.
+  Builder builder("conew");
+  builder.Input("a").Input("b");
+  builder.And("g1", {"a", "b"}).Or("g2", {"a", "b"});
+  builder.Dff("q1", "g1").Dff("q2", "g2");
+  builder.Not("h1", "q1").Buf("h2", "q2");
+  builder.Output("z1", "h1").Output("z2", "h2");
+  const Circuit circuit = builder.Build();
+
+  const Injection injection{circuit.Find("g1"), -1, true,
+                            Vec3<W>::kLanes - 1};
+  WideFrame<W> full(circuit);
+  full.SetInjections({&injection, 1});
+  WideFrame<W> cone(circuit);
+  cone.SetInjections({&injection, 1});
+  cone.RestrictToInjectionCones();
+  EXPECT_TRUE(cone.cone_restricted());
+  EXPECT_EQ(cone.cone_size(), 4);
+
+  const InputSequence sequence{FromString("00"), FromString("11"),
+                               FromString("10"), FromString("01")};
+  const Trace trace(circuit, sequence);
+  const WideTrace<W> words(trace);
+  std::vector<Vec3<W>> full_state(2), cone_state(2);
+  for (size_t t = 0; t < sequence.size(); ++t) {
+    full.Step(sequence[t], full_state);
+    cone.Step(sequence[t], cone_state, words.frame(t));
+    for (const char* net : {"g1", "q1", "h1", "z1"}) {
+      EXPECT_EQ(cone.word(circuit.Find(net), words.frame(t)),
+                full.value(circuit.Find(net)))
+          << net << " at frame " << t;
+    }
+  }
+  EXPECT_LE(cone.gate_evals(), full.gate_evals());
 }
 
 }  // namespace
