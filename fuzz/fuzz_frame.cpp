@@ -1,0 +1,138 @@
+// Fuzz target for the serving wire protocol: the frame decoder and
+// the request parser (docs/SERVING.md).
+//
+// The input bytes are treated as a client byte stream and fed to a
+// FrameDecoder in arbitrary-size chunks (the chunk schedule itself is
+// derived from the input, so the fuzzer explores reassembly paths).
+// Every completed frame payload then goes through ParseRequest and,
+// when it parses, the canonical re-serialization.  The oracle is the
+// robustness contract of the transport layer, not any particular
+// output:
+//
+//   1. FrameDecoder::Feed/Pop never crash, trap a sanitizer, or read
+//      out of bounds on any byte stream or chunking (totality);
+//   2. the decoder never buffers more than one maximum frame beyond
+//      what Pop has not yet consumed: a 4-byte header announcing an
+//      oversized payload must poison the stream *before* the payload
+//      is buffered (bounded memory under attack);
+//   3. a poisoned decoder stays poisoned: no frame is ever produced
+//      after an error (no resynchronization on a corrupt stream);
+//   4. EncodeFrame(payload) fed back through a fresh decoder
+//      reproduces the payload byte for byte (codec round trip);
+//   5. ParseRequest never throws and never emits a
+//      StatusCode::kInternal diagnostic (reserved for bugs); and
+//   6. for an accepted SUBMIT, BuildSubmitPayload is a fixpoint:
+//      parsing the canonical form and re-serializing it reproduces the
+//      same bytes (what makes spool recovery deterministic).
+//
+// Violations call __builtin_trap() so both libFuzzer and the replay
+// driver report them as crashes.  Inputs are capped at 64 KiB and the
+// decoder runs with a 4 KiB frame limit so the oversized path is
+// reachable with tiny inputs.  Build the libFuzzer binary with
+// -DREPRO_FUZZ=ON (requires Clang); fuzz_frame_replay replays
+// corpus_frame/ and regressions_frame/ under any compiler and backs
+// the fuzz_frame_replay ctest.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/server/framing.h"
+#include "core/server/protocol.h"
+#include "core/status.h"
+
+namespace {
+
+constexpr std::size_t kMaxInputBytes = 64 * 1024;
+constexpr std::size_t kFuzzFrameLimit = 4 * 1024;
+
+using retest::core::server::BuildSubmitPayload;
+using retest::core::server::EncodeFrame;
+using retest::core::server::FrameDecoder;
+using retest::core::server::kFrameHeaderBytes;
+using retest::core::server::ParseRequest;
+using retest::core::server::Verb;
+
+void CheckPayload(const std::string& payload) {
+  // Oracle 4: the codec round-trips every payload it produced.
+  FrameDecoder codec(payload.size() + 1);
+  codec.Feed(EncodeFrame(payload));
+  std::string again;
+  if (codec.Pop(again) != FrameDecoder::Next::kFrame || again != payload) {
+    __builtin_trap();
+  }
+
+  // Oracle 5: the request parser is total.
+  retest::core::DiagnosticList diags;
+  const auto request = ParseRequest(payload, diags);
+  if (diags.Contains(retest::core::StatusCode::kInternal)) {
+    __builtin_trap();
+  }
+  if (request.has_value() != diags.ok()) {
+    __builtin_trap();  // Engaged exactly when clean -- the contract.
+  }
+
+  // Oracle 6: canonical SUBMIT serialization is a fixpoint.
+  if (request && request->verb == Verb::kSubmit) {
+    const std::string canonical = BuildSubmitPayload(request->spec);
+    retest::core::DiagnosticList rediags;
+    const auto reparsed = ParseRequest(canonical, rediags);
+    if (!reparsed || reparsed->verb != Verb::kSubmit ||
+        BuildSubmitPayload(reparsed->spec) != canonical) {
+      __builtin_trap();
+    }
+  }
+}
+
+void FuzzOne(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInputBytes) return;
+  const std::string stream(reinterpret_cast<const char*>(data), size);
+
+  FrameDecoder decoder(kFuzzFrameLimit);
+  bool poisoned = false;
+  std::size_t offset = 0;
+  std::size_t step = 0;
+  while (offset < stream.size()) {
+    // Chunk sizes walk the input itself, so reassembly boundaries are
+    // under fuzzer control (1..256 bytes per feed).
+    const std::size_t chunk =
+        1 + (static_cast<unsigned char>(stream[step % stream.size()]) %
+             256);
+    ++step;
+    const std::size_t take = std::min(chunk, stream.size() - offset);
+    decoder.Feed(stream.substr(offset, take));
+    offset += take;
+
+    std::string payload;
+    while (true) {
+      const FrameDecoder::Next next = decoder.Pop(payload);
+      if (next == FrameDecoder::Next::kFrame) {
+        if (poisoned) __builtin_trap();  // Oracle 3.
+        if (payload.empty() || payload.size() > kFuzzFrameLimit) {
+          __builtin_trap();  // A frame outside the advertised bounds.
+        }
+        CheckPayload(payload);
+        continue;
+      }
+      if (next == FrameDecoder::Next::kError) {
+        if (decoder.error().empty()) __builtin_trap();
+        poisoned = true;
+      }
+      break;
+    }
+
+    // Oracle 2: with frames drained after every feed, the decoder
+    // holds at most one incomplete frame plus the latest chunk.
+    if (!poisoned &&
+        decoder.buffered() > kFrameHeaderBytes + kFuzzFrameLimit + 256) {
+      __builtin_trap();
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}

@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the repro_serve daemon (tools/repro_serve,
+# docs/SERVING.md), run as the repro_serve_smoke ctest and as a CI leg:
+#
+#   serve_smoke.sh <path-to-repro_serve>
+#
+# Exercises the daemon the way an operator would and asserts the three
+# serving guarantees that unit tests cannot cover across real process
+# boundaries:
+#
+#   1. daemon == batch: a preserve job (the paper's Fig. 6 flow on the
+#      Table II dk16 pair) submitted over a Unix socket returns a
+#      result object byte-identical to `--batch` on the same job file,
+#      modulo the wall-clock elapsed_ms field;
+#   2. kill -9 + restart resumes: a ~2 s ATPG job is killed mid-run
+#      with SIGKILL, the daemon is restarted on the same spool, and the
+#      recovered job must finish from the journal (resumed: true) with
+#      the same tests_crc32 a batch run of the job produces;
+#   3. SIGTERM drains: the daemon exits 0 on SIGTERM, not 143.
+set -u
+
+SERVE="$1"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null
+    wait "$DAEMON_PID" 2> /dev/null
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve smoke FAIL: $*" >&2
+  exit 1
+}
+
+wait_for_file() {
+  local path="$1" tries=0
+  until [ -e "$path" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 200 ] && fail "timed out waiting for $path"
+    sleep 0.05
+  done
+}
+
+# ---- inputs: the Table II dk16 pair and three job files -------------
+
+"$SERVE" --dump-table2 dk16 "$TMP" > /dev/null \
+  || fail "--dump-table2 dk16"
+
+# The bit-identity job: quick deterministic preserve flow (bounded
+# backtracks, no wall-clock dependence, completes in well under the
+# budget so the result is a pure function of the request).
+{
+  printf 'REPRO-SERVE/1 SUBMIT\n'
+  printf 'name: smoke-preserve\nkind: preserve\nseed: 7\n'
+  printf 'style: forward_ila\nrandom-rounds: 0\n'
+  printf 'backtracks-per-fault: 2\nmax-frames: 16\n'
+  printf 'redundancy-check: 0\nbudget-ms: 600000\n'
+  printf '\n--- netlist\n'
+  cat "$TMP/dk16.orig.bench"
+  printf -- '--- retimed\n'
+  cat "$TMP/dk16.ret.bench"
+} > "$TMP/job_preserve"
+
+# The kill -9 victim: ~2 s of single-threaded justification ATPG, long
+# enough that SIGKILL reliably lands mid-run once the journal exists.
+{
+  printf 'REPRO-SERVE/1 SUBMIT\n'
+  printf 'name: smoke-long\nkind: atpg\nseed: 13\n'
+  printf 'style: justification\nrandom-rounds: 0\n'
+  printf 'backtracks-per-fault: 500\njustify-backtracks: 3000\n'
+  printf 'budget-ms: 600000\n'
+  printf '\n--- netlist\n'
+  cat "$TMP/dk16.orig.bench"
+} > "$TMP/job_long"
+
+printf 'REPRO-SERVE/1 RESULT\nid: 1\n\n' > "$TMP/job_fetch"
+
+# ---- reference results from batch mode ------------------------------
+
+"$SERVE" --batch "$TMP/job_preserve" > "$TMP/batch_preserve.json" \
+  || fail "--batch job_preserve"
+"$SERVE" --batch "$TMP/job_long" > "$TMP/batch_long.json" \
+  || fail "--batch job_long"
+long_crc="$(grep -o '"tests_crc32": "[0-9a-f]*"' "$TMP/batch_long.json")"
+[ -n "$long_crc" ] || fail "batch long run has no tests_crc32"
+
+# elapsed_ms is the one wall-clock field in a result object; everything
+# else must match byte for byte between daemon and batch.
+mask() { sed -E 's/"elapsed_ms": [0-9]+/"elapsed_ms": _/g'; }
+
+# ---- 1. daemon round-trip is bit-identical to batch -----------------
+
+SOCK="$TMP/serve.sock"
+"$SERVE" --unix "$SOCK" --spool "$TMP/spool1" --workers 2 \
+  > "$TMP/daemon1.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK"
+
+"$SERVE" --client "$SOCK" "$TMP/job_preserve" > "$TMP/client1.out" \
+  || fail "client preserve round-trip (see $TMP/client1.out)"
+grep '"type": "result"' "$TMP/client1.out" | mask > "$TMP/daemon_result"
+mask < "$TMP/batch_preserve.json" > "$TMP/batch_result"
+cmp -s "$TMP/daemon_result" "$TMP/batch_result" \
+  || fail "daemon result differs from batch result:
+$(diff "$TMP/batch_result" "$TMP/daemon_result")"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain exited $status, want 0"
+
+# ---- 2. kill -9 mid-job, restart, resume from the journal -----------
+
+SOCK2="$TMP/serve2.sock"
+"$SERVE" --unix "$SOCK2" --spool "$TMP/spool2" --workers 1 \
+  > "$TMP/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK2"
+
+"$SERVE" --client "$SOCK2" "$TMP/job_long" > "$TMP/client2.out" 2>&1 &
+CLIENT_PID=$!
+# The journal appears at the first checkpoint flush, well before the
+# ~2 s job finishes; killing right after is reliably mid-run.
+wait_for_file "$TMP/spool2/1.journal"
+sleep 0.3
+[ -e "$TMP/spool2/1.result.json" ] \
+  && fail "long job finished before SIGKILL; resume not exercised"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null
+DAEMON_PID=""
+wait "$CLIENT_PID" 2> /dev/null  # client dies with the connection
+
+[ -e "$TMP/spool2/1.job" ] || fail "spool lost 1.job across SIGKILL"
+
+"$SERVE" --unix "$SOCK2" --spool "$TMP/spool2" --workers 1 \
+  > "$TMP/daemon3.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK2"
+
+# Poll RESULT until the recovered job finishes (error frames make the
+# client exit non-zero while the job is still running).
+tries=0
+until "$SERVE" --client "$SOCK2" "$TMP/job_fetch" > "$TMP/client3.out" 2>&1
+do
+  tries=$((tries + 1))
+  [ "$tries" -gt 120 ] && fail "recovered job never finished
+$(cat "$TMP/client3.out")"
+  sleep 0.5
+done
+
+grep -q '"resumed": true' "$TMP/client3.out" \
+  || fail "recovered job did not resume from the journal"
+grep -qF "$long_crc" "$TMP/client3.out" \
+  || fail "resumed tests_crc32 differs from the batch run"
+
+# ---- 3. the restarted daemon also drains cleanly --------------------
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain after restart exited $status"
+
+echo "serve smoke: OK (daemon==batch, kill -9 resume, SIGTERM drain)"

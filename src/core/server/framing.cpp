@@ -1,0 +1,139 @@
+#include "core/server/framing.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/metrics.h"
+
+namespace retest::core::server {
+
+namespace {
+
+std::uint32_t DecodeLength(const char* bytes) {
+  const auto b = [bytes](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]));
+  };
+  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+}  // namespace
+
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned()) return;  // Nothing downstream will trust the stream.
+  // Compact lazily: only when the consumed prefix dominates the buffer,
+  // so repeated small frames do not turn Feed into O(n^2).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Next FrameDecoder::Pop(std::string& payload) {
+  if (poisoned()) return Next::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Next::kNeedMore;
+  const std::uint32_t length = DecodeLength(buffer_.data() + consumed_);
+  if (length == 0) {
+    error_ = "empty frame (length 0)";
+    RETEST_COUNTER_ADD("serve.frame_errors", "frames", "serve",
+                       "frames rejected by the decoder", 1);
+    return Next::kError;
+  }
+  if (length > max_payload_) {
+    error_ = "frame payload of " + std::to_string(length) +
+             " bytes exceeds the " + std::to_string(max_payload_) +
+             "-byte limit";
+    RETEST_COUNTER_ADD("serve.frame_errors", "frames", "serve",
+                       "frames rejected by the decoder", 1);
+    return Next::kError;
+  }
+  if (available < kFrameHeaderBytes + length) return Next::kNeedMore;
+  payload.assign(buffer_, consumed_ + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return Next::kFrame;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  const std::string frame = EncodeFrame(payload);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    // MSG_NOSIGNAL suppresses SIGPIPE on sockets; plain files/pipes
+    // reject send() with ENOTSOCK and fall back to write().
+    ssize_t n = ::send(fd, frame.data() + written, frame.size() - written,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, frame.data() + written, frame.size() - written);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  RETEST_COUNTER_ADD("serve.frames.tx", "frames", "serve",
+                     "response frames written", 1);
+  RETEST_COUNTER_ADD("serve.bytes.tx", "bytes", "serve",
+                     "response bytes written (incl. headers)",
+                     static_cast<long>(frame.size()));
+  return true;
+}
+
+FrameDecoder::Next ReadFrame(int fd, FrameDecoder& decoder,
+                             std::string& payload, std::string& error) {
+  char chunk[4096];
+  while (true) {
+    switch (decoder.Pop(payload)) {
+      case FrameDecoder::Next::kFrame:
+        RETEST_COUNTER_ADD("serve.frames.rx", "frames", "serve",
+                           "request frames decoded", 1);
+        return FrameDecoder::Next::kFrame;
+      case FrameDecoder::Next::kError:
+        error = decoder.error();
+        return FrameDecoder::Next::kError;
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("read: ") + std::strerror(errno);
+      return FrameDecoder::Next::kError;
+    }
+    if (n == 0) {
+      if (decoder.buffered() == 0) return FrameDecoder::Next::kNeedMore;
+      error = "eof inside a frame (" + std::to_string(decoder.buffered()) +
+              " bytes buffered)";
+      return FrameDecoder::Next::kError;
+    }
+    RETEST_COUNTER_ADD("serve.bytes.rx", "bytes", "serve",
+                       "request bytes read", static_cast<long>(n));
+    decoder.Feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+}  // namespace retest::core::server

@@ -1,0 +1,93 @@
+// Length-prefixed framing — the wire unit of the repro_serve protocol.
+//
+// A frame is a 4-byte big-endian unsigned payload length followed by
+// exactly that many payload bytes.  Requests carry protocol text,
+// responses carry JSON (core/server/protocol); the framing layer knows
+// nothing about either.  docs/SERVING.md is the normative spec.
+//
+// The decoder is *total* in the same sense as the .bench parser
+// (netlist/bench_io): arbitrary bytes never make it throw, crash, or
+// buffer unboundedly.  A length word exceeding the configured payload
+// cap poisons the decoder immediately — before any payload byte is
+// buffered — so an adversarial 4-byte header cannot make the server
+// allocate; the transport answers with a `bad_frame` error frame and
+// closes the connection.  A zero length is likewise an error (an empty
+// frame has no meaning in the protocol and commonly indicates a
+// desynchronized stream).  fuzz/fuzz_frame.cpp fuzzes exactly this
+// contract.
+//
+// Thread-safety: a decoder instance belongs to one connection / one
+// thread.  EncodeFrame and the fd helpers are stateless; WriteFrame
+// may be called from several threads only under the caller's lock
+// (the server serializes per-connection writes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace retest::core::server {
+
+/// Hard ceiling on one frame's payload (16 MiB): larger netlists are
+/// outside the service's design envelope and get a `payload_too_large`
+/// reject instead of an allocation.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+/// Bytes of the length prefix.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Prepends the big-endian length header to `payload`.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder.  Feed() arbitrary byte chunks, then
+/// Pop() complete frames until it reports kNeedMore.  After kError the
+/// decoder is poisoned: the stream has no trustworthy resync point, so
+/// the connection must be closed.
+class FrameDecoder {
+ public:
+  enum class Next {
+    kFrame,     ///< One complete payload was produced.
+    kNeedMore,  ///< The buffered bytes do not complete a frame yet.
+    kError,     ///< Invalid stream (error() explains); decoder poisoned.
+  };
+
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload);
+
+  /// Appends raw bytes.  Never fails; oversized declarations are
+  /// detected in Pop() before their payload would be buffered.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame into `payload`.
+  Next Pop(std::string& payload);
+
+  /// Human-readable description of the poisoning error ("" when none).
+  const std::string& error() const { return error_; }
+  bool poisoned() const { return !error_.empty(); }
+
+  /// Bytes currently buffered; bounded by max_payload + header size
+  /// regardless of input (the fuzz harness asserts this).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  std::size_t max_payload() const { return max_payload_; }
+
+ private:
+  const std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already handed out.
+  std::string error_;
+};
+
+/// Blocking full write of one encoded frame to `fd` (loops over short
+/// writes; uses send(MSG_NOSIGNAL) on sockets so a peer hangup surfaces
+/// as an error return, not SIGPIPE).  Returns false on any I/O error.
+bool WriteFrame(int fd, std::string_view payload);
+
+/// Blocking read of one frame from `fd` through `decoder`.  Returns
+/// kFrame/kError like Pop; EOF before a complete frame reports kError
+/// with "eof" in the message unless the stream was empty-and-aligned,
+/// which reports kNeedMore (clean end of session).
+FrameDecoder::Next ReadFrame(int fd, FrameDecoder& decoder,
+                             std::string& payload, std::string& error);
+
+}  // namespace retest::core::server

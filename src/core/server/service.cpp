@@ -1,0 +1,597 @@
+#include "core/server/service.h"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "analyze/certify.h"
+#include "atpg/engine.h"
+#include "core/crc32.h"
+#include "core/metrics.h"
+#include "core/preserve.h"
+#include "core/testset.h"
+#include "core/trace.h"
+#include "fault/collapse.h"
+#include "faultsim/proofs.h"
+#include "netlist/bench_io.h"
+
+namespace retest::core::server {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// tmp+rename write, mirroring the journal writer's durability idiom:
+/// a crash mid-write never leaves a half-written spool file behind.
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << content;
+    if (!out.flush()) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Validates faultsim tests text: every non-blank line is a vector of
+/// 0/1/x characters exactly `num_inputs` wide.
+void ValidateTestsText(const std::string& text, int num_inputs,
+                       core::DiagnosticList& diags) {
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (static_cast<int>(line.size()) != num_inputs) {
+      diags.Add(StatusCode::kParseError,
+                "test vector is " + std::to_string(line.size()) +
+                    " characters wide; the circuit has " +
+                    std::to_string(num_inputs) + " inputs",
+                "tests", line_number);
+      continue;
+    }
+    for (const char c : line) {
+      if (c != '0' && c != '1' && c != 'x' && c != 'X') {
+        diags.Add(StatusCode::kParseError,
+                  std::string("test vector character '") + c +
+                      "' is not 0, 1 or x",
+                  "tests", line_number);
+        break;
+      }
+    }
+  }
+}
+
+void AppendDouble(std::ostringstream& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.2f", key, value);
+  out << buf;
+}
+
+/// The `"atpg"` result object shared by atpg and preserve results.
+/// The test set is included both verbatim (so a client can replay it)
+/// and as a CRC-32 (the bit-identity handle the smoke and the e2e
+/// tests compare).
+std::string AtpgJson(const atpg::AtpgResult& result) {
+  core::TestSet set;
+  set.tests = result.tests;
+  const std::string text = set.ToText();
+  std::ostringstream out;
+  out << "{\"faults\": " << result.faults.size()
+      << ", \"detected\": " << result.Count(atpg::FaultStatus::kDetected)
+      << ", \"redundant\": " << result.Count(atpg::FaultStatus::kRedundant)
+      << ", \"aborted\": " << result.Count(atpg::FaultStatus::kAborted)
+      << ", \"untried\": " << result.Count(atpg::FaultStatus::kUntried)
+      << ", ";
+  AppendDouble(out, "fc", result.FaultCoverage());
+  out << ", ";
+  AppendDouble(out, "fe", result.FaultEfficiency());
+  out << ", \"evaluations\": " << result.evaluations
+      << ", \"num_tests\": " << result.tests.size()
+      << ", \"total_vectors\": " << set.total_vectors();
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", core::Crc32(text));
+  out << ", \"tests_crc32\": \"" << crc << "\", \"tests\": \""
+      << JsonEscape(text) << "\"}";
+  return out.str();
+}
+
+std::string FaultSimJson(const faultsim::ProofsResult& result) {
+  int detected = result.num_detected();
+  std::ostringstream out;
+  out << "{\"faults\": " << result.detections.size()
+      << ", \"detected\": " << detected << ", ";
+  AppendDouble(out, "coverage",
+               result.detections.empty()
+                   ? 100.0
+                   : 100.0 * detected /
+                         static_cast<double>(result.detections.size()));
+  out << ", \"frames_evaluated\": " << result.frames_evaluated
+      << ", \"gate_evals\": " << result.gate_evals << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string_view ToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "queued";
+}
+
+struct Service::JobRec {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  netlist::Circuit circuit;   ///< Parsed `netlist`.
+  netlist::Circuit retimed;   ///< Parsed `retimed` (kPreserve).
+  core::TestSet tests;        ///< Parsed `tests` (kFaultSim).
+  JobState state = JobState::kQueued;
+  bool cancel_requested = false;
+  bool resumed = false;
+  Clock::time_point submitted;
+  Clock::time_point started;
+  Clock::time_point finished;
+  std::string result_json;
+  std::size_t fleet_id = 0;
+};
+
+Service::Service(const ServiceOptions& options)
+    : options_(options), fleet_([&options] {
+        core::FleetOptions fleet_options;
+        fleet_options.num_workers = options.num_workers;
+        return fleet_options;
+      }()) {
+  if (!options_.spool_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.spool_dir, ec);
+    RecoverSpool();
+  }
+}
+
+Service::~Service() { Drain(); }
+
+void Service::SetCompletionCallback(
+    std::function<void(const JobRecord&)> callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  callback_ = std::move(callback);
+}
+
+std::string Service::JournalPath(std::uint64_t id) const {
+  return options_.spool_dir + "/" + std::to_string(id) + ".journal";
+}
+
+Service::Submission Service::Submit(const JobSpec& spec) {
+  return SubmitInternal(spec, 0);
+}
+
+Service::Submission Service::SubmitInternal(const JobSpec& spec,
+                                            std::uint64_t forced_id) {
+  Submission submission;
+
+  // Validation first: an invalid job is rejected with the complete
+  // diagnostic list whatever the queue looks like.
+  auto rec = std::make_unique<JobRec>();
+  rec->spec = spec;
+  {
+    auto parsed = netlist::ParseBenchString(
+        spec.netlist, spec.name.empty() ? "job" : spec.name, "netlist");
+    submission.diagnostics.Append(parsed.diagnostics);
+    if (parsed.ok()) rec->circuit = std::move(*parsed.circuit);
+  }
+  if (spec.kind == JobKind::kPreserve) {
+    auto parsed =
+        netlist::ParseBenchString(spec.retimed, spec.name + ".retimed",
+                                  "retimed");
+    submission.diagnostics.Append(parsed.diagnostics);
+    if (parsed.ok()) rec->retimed = std::move(*parsed.circuit);
+  }
+  if (spec.kind == JobKind::kFaultSim && submission.diagnostics.ok()) {
+    ValidateTestsText(spec.tests, rec->circuit.num_inputs(),
+                      submission.diagnostics);
+    if (submission.diagnostics.ok()) {
+      rec->tests = core::TestSet::FromText(spec.tests);
+    }
+  }
+  if (!submission.diagnostics.ok()) {
+    submission.reject_reason = "invalid_request";
+    rejected_.fetch_add(1);
+    RETEST_COUNTER_ADD("serve.jobs.rejected", "jobs", "serve",
+                       "submissions refused by validation or admission", 1);
+    return submission;
+  }
+
+  JobRec* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      submission.reject_reason = "draining";
+    } else if (queued_ >= options_.max_queue) {
+      submission.reject_reason = "queue_full";
+    }
+    if (!submission.reject_reason.empty()) {
+      submission.queue_depth = queued_;
+      rejected_.fetch_add(1);
+      RETEST_COUNTER_ADD("serve.jobs.rejected", "jobs", "serve",
+                         "submissions refused by validation or admission", 1);
+      return submission;
+    }
+    rec->id = forced_id != 0 ? forced_id : next_id_;
+    next_id_ = std::max(next_id_, rec->id + 1);
+    rec->submitted = Clock::now();
+    raw = rec.get();
+    jobs_[rec->id] = std::move(rec);
+    ++queued_;
+    ++outstanding_;
+    submission.accepted = true;
+    submission.id = raw->id;
+    submission.queue_depth = queued_;
+  }
+  accepted_.fetch_add(1);
+  RETEST_COUNTER_ADD("serve.jobs.accepted", "jobs", "serve",
+                     "submissions admitted to the queue", 1);
+  RETEST_DIST_RECORD("serve.queue.depth", "jobs", "serve",
+                     "queued jobs sampled at each admission",
+                     static_cast<double>(submission.queue_depth));
+
+  // Spool before enqueueing: once a client sees `accepted`, a crash
+  // must not lose the job.  Recovery re-submits are already on disk.
+  if (!options_.spool_dir.empty() && forced_id == 0) {
+    const std::string path =
+        options_.spool_dir + "/" + std::to_string(raw->id) + ".job";
+    if (!WriteFileAtomic(path, BuildSubmitPayload(spec))) {
+      std::fprintf(stderr, "repro_serve: cannot spool job %llu to %s\n",
+                   static_cast<unsigned long long>(raw->id), path.c_str());
+    }
+  }
+
+  core::JobOptions job_options;
+  job_options.name = spec.name;
+  job_options.priority = spec.priority;
+  job_options.thread_budget = spec.threads;
+  job_options.deadline_ms = spec.deadline_ms;
+  if (!options_.spool_dir.empty() &&
+      (spec.kind == JobKind::kAtpg || spec.kind == JobKind::kPreserve)) {
+    job_options.checkpoint_path = JournalPath(raw->id);
+  }
+  raw->fleet_id = fleet_.Submit(std::move(job_options),
+                                [this, raw](const core::JobContext& ctx) {
+                                  RunJob(*raw, ctx);
+                                });
+  return submission;
+}
+
+void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
+  RETEST_TRACE_SPAN(span, "serve.job");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rec.started = Clock::now();
+    --queued_;
+    if (rec.cancel_requested) {
+      rec.state = JobState::kCancelled;
+    } else {
+      rec.state = JobState::kRunning;
+    }
+    RETEST_DIST_RECORD("serve.queue_wait_ms", "ms", "serve",
+                       "submit-to-start latency per job",
+                       MsBetween(rec.submitted, rec.started));
+  }
+  if (rec.state == JobState::kCancelled) {
+    std::ostringstream out;
+    out << "{\"type\": \"result\", \"id\": " << rec.id << ", \"name\": \""
+        << JsonEscape(rec.spec.name) << "\", \"kind\": \""
+        << ToString(rec.spec.kind) << "\", \"status\": \"cancelled\"}";
+    FinishJob(rec, JobState::kCancelled, out.str(), false);
+    return;
+  }
+
+  atpg::AtpgOptions atpg_options = rec.spec.atpg;
+  atpg_options.num_threads = ctx.thread_budget;
+  atpg_options.deadline_ms = ctx.deadline_ms;
+  if (ctx.checkpoint_path != nullptr) {
+    atpg_options.checkpoint_path = *ctx.checkpoint_path;
+  }
+
+  const Clock::time_point run_start = Clock::now();
+  std::ostringstream out;
+  out << "{\"type\": \"result\", \"id\": " << rec.id << ", \"name\": \""
+      << JsonEscape(rec.spec.name) << "\", \"kind\": \""
+      << ToString(rec.spec.kind) << "\", ";
+  bool resumed = false;
+  try {
+    switch (rec.spec.kind) {
+      case JobKind::kAtpg: {
+        const atpg::AtpgResult result = atpg::RunAtpg(rec.circuit,
+                                                      atpg_options);
+        resumed = result.resumed;
+        out << "\"status\": \"ok\", \"resumed\": "
+            << (result.resumed ? "true" : "false") << ", \"preempted\": "
+            << (result.preempted ? "true" : "false")
+            << ", \"elapsed_ms\": " << result.elapsed_ms
+            << ", \"atpg\": " << AtpgJson(result) << "}";
+        break;
+      }
+      case JobKind::kFaultSim: {
+        faultsim::ProofsOptions proofs_options;
+        proofs_options.num_threads = ctx.thread_budget;
+        const fault::CollapsedFaults faults = fault::Collapse(rec.circuit);
+        const faultsim::ProofsResult result = faultsim::SimulateProofs(
+            rec.circuit, faults.representatives, rec.tests.Concatenated(),
+            proofs_options);
+        out << "\"status\": \"ok\", \"resumed\": false, \"preempted\": false"
+            << ", \"elapsed_ms\": 0, \"faultsim\": " << FaultSimJson(result)
+            << "}";
+        break;
+      }
+      case JobKind::kPreserve: {
+        // The Fig. 6 pair flow over an untrusted pair: the certifier
+        // re-establishes that `retimed` really is a retiming (and
+        // yields the Theorem-4 prefix) before any test mapping.
+        const auto cert =
+            analyze::CertifyRetiming(rec.circuit, rec.retimed);
+        if (!cert.certified) {
+          out << "\"status\": \"failed\", \"error\": \"certification "
+              << "refused: " << JsonEscape(cert.diagnostics.ToString())
+              << "\"}";
+          FinishJob(rec, JobState::kFailed, out.str(), false);
+          return;
+        }
+        const atpg::AtpgResult atpg_result =
+            atpg::RunAtpg(rec.circuit, atpg_options);
+        resumed = atpg_result.resumed;
+        core::TestSet original_set;
+        original_set.tests = atpg_result.tests;
+        const int prefix = cert.certificate.prefix_length;
+        const core::TestSet derived = core::DeriveRetimedTestSet(
+            original_set, prefix, rec.retimed.num_inputs());
+        faultsim::ProofsOptions proofs_options;
+        proofs_options.num_threads = ctx.thread_budget;
+        const fault::CollapsedFaults faults = fault::Collapse(rec.retimed);
+        const faultsim::ProofsResult mapped = faultsim::SimulateProofs(
+            rec.retimed, faults.representatives, derived.Concatenated(),
+            proofs_options);
+        out << "\"status\": \"ok\", \"resumed\": "
+            << (atpg_result.resumed ? "true" : "false")
+            << ", \"preempted\": "
+            << (atpg_result.preempted ? "true" : "false")
+            << ", \"elapsed_ms\": " << atpg_result.elapsed_ms
+            << ", \"certified\": true, \"prefix_length\": " << prefix
+            << ", \"original_dffs\": " << rec.circuit.num_dffs()
+            << ", \"retimed_dffs\": " << rec.retimed.num_dffs()
+            << ", \"atpg\": " << AtpgJson(atpg_result)
+            << ", \"mapped\": " << FaultSimJson(mapped) << "}";
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::ostringstream failed;
+    failed << "{\"type\": \"result\", \"id\": " << rec.id << ", \"name\": \""
+           << JsonEscape(rec.spec.name) << "\", \"kind\": \""
+           << ToString(rec.spec.kind) << "\", \"status\": \"failed\", "
+           << "\"error\": \"" << JsonEscape(e.what()) << "\"}";
+    FinishJob(rec, JobState::kFailed, failed.str(), false);
+    return;
+  }
+  RETEST_DIST_RECORD("serve.job_ms", "ms", "serve",
+                     "wall time of one executed job",
+                     MsBetween(run_start, Clock::now()));
+  FinishJob(rec, JobState::kDone, out.str(), resumed);
+}
+
+void Service::FinishJob(JobRec& rec, JobState state, std::string result_json,
+                        bool resumed) {
+  JobRecord record;
+  std::function<void(const JobRecord&)> callback;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rec.state = state;
+    rec.resumed = resumed;
+    rec.finished = Clock::now();
+    rec.result_json = std::move(result_json);
+    record = SnapshotLocked(rec);
+    callback = callback_;
+  }
+  completed_.fetch_add(1);
+  switch (state) {
+    case JobState::kDone:
+      RETEST_COUNTER_ADD("serve.jobs.completed", "jobs", "serve",
+                         "jobs that ran to a result", 1);
+      break;
+    case JobState::kFailed:
+      RETEST_COUNTER_ADD("serve.jobs.failed", "jobs", "serve",
+                         "jobs that ended in an error result", 1);
+      break;
+    default:
+      RETEST_COUNTER_ADD("serve.jobs.cancelled", "jobs", "serve",
+                         "jobs cancelled before they ran", 1);
+      break;
+  }
+  if (resumed) {
+    RETEST_COUNTER_ADD("serve.jobs.resumed", "jobs", "serve",
+                       "jobs that replayed a checkpoint journal", 1);
+  }
+
+  if (!options_.spool_dir.empty()) {
+    const std::string base = options_.spool_dir + "/" +
+                             std::to_string(record.id);
+    WriteFileAtomic(base + ".result.json", record.result_json);
+    std::error_code ec;
+    fs::remove(base + ".job", ec);
+    fs::remove(base + ".journal", ec);
+    fs::remove(base + ".journal.tmp", ec);
+  }
+
+  // The callback runs before the job counts as finished: Drain() (and
+  // hence the daemon's goodbye frames) must not overtake the result
+  // frame this callback writes.  Wait()ers also only wake once the
+  // result was delivered.
+  if (callback) callback(record);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --outstanding_;
+  }
+  done_cv_.notify_all();
+}
+
+JobRecord Service::SnapshotLocked(const JobRec& rec) const {
+  JobRecord record;
+  record.id = rec.id;
+  record.name = rec.spec.name;
+  record.kind = rec.spec.kind;
+  record.state = rec.state;
+  record.resumed = rec.resumed;
+  record.result_json = rec.result_json;
+  const Clock::time_point now = Clock::now();
+  if (rec.state == JobState::kQueued) {
+    record.queued_ms = MsBetween(rec.submitted, now);
+  } else {
+    record.queued_ms = MsBetween(rec.submitted, rec.started);
+    record.run_ms = rec.state == JobState::kRunning
+                        ? MsBetween(rec.started, now)
+                        : MsBetween(rec.started, rec.finished);
+  }
+  return record;
+}
+
+std::optional<JobRecord> Service::Query(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return SnapshotLocked(*it->second);
+}
+
+std::vector<JobRecord> Service::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> records;
+  records.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) records.push_back(SnapshotLocked(*rec));
+  return records;
+}
+
+std::optional<std::string> Service::Result(std::uint64_t id) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      if (it->second->result_json.empty()) return std::nullopt;
+      return it->second->result_json;
+    }
+  }
+  if (options_.spool_dir.empty()) return std::nullopt;
+  return ReadFile(options_.spool_dir + "/" + std::to_string(id) +
+                  ".result.json");
+}
+
+bool Service::Cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  JobRec& rec = *it->second;
+  if (rec.state != JobState::kQueued) return rec.cancel_requested;
+  rec.cancel_requested = true;
+  return true;
+}
+
+std::optional<JobRecord> Service::Wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  JobRec* rec = it->second.get();
+  done_cv_.wait(lock, [rec] {
+    return rec->state == JobState::kDone || rec->state == JobState::kFailed ||
+           rec->state == JobState::kCancelled;
+  });
+  return SnapshotLocked(*rec);
+}
+
+std::size_t Service::RecoverSpool() {
+  if (options_.spool_dir.empty()) return 0;
+  std::vector<std::pair<std::uint64_t, std::string>> pending;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.spool_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const std::size_t dot = name.find('.');
+    if (dot == std::string::npos || name.substr(dot) != ".job") continue;
+    long id = 0;
+    try {
+      id = std::stol(name.substr(0, dot));
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (id <= 0) continue;
+    const auto payload = ReadFile(entry.path().string());
+    if (payload) {
+      pending.emplace_back(static_cast<std::uint64_t>(id), *payload);
+    }
+  }
+  std::sort(pending.begin(), pending.end());
+  std::size_t recovered = 0;
+  for (const auto& [id, payload] : pending) {
+    core::DiagnosticList diags;
+    const auto request = ParseRequest(payload, diags);
+    if (!request || request->verb != Verb::kSubmit) {
+      std::fprintf(stderr,
+                   "repro_serve: spooled job %llu is unreadable, skipped:\n%s\n",
+                   static_cast<unsigned long long>(id),
+                   diags.ToString().c_str());
+      continue;
+    }
+    const Submission submission = SubmitInternal(request->spec, id);
+    if (submission.accepted) ++recovered;
+  }
+  if (recovered > 0) {
+    RETEST_COUNTER_ADD("serve.spool.recovered", "jobs", "serve",
+                       "spooled jobs re-submitted after a restart",
+                       static_cast<long>(recovered));
+  }
+  return recovered;
+}
+
+void Service::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace retest::core::server

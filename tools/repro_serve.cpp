@@ -1,0 +1,326 @@
+// repro_serve: the ATPG-as-a-service daemon and its client/batch modes.
+//
+// Usage:
+//   repro_serve --unix PATH [--tcp PORT] [daemon options]
+//   repro_serve --tcp PORT [daemon options]
+//   repro_serve --stdio [daemon options]
+//   repro_serve --client PATH JOBFILE...
+//   repro_serve --client-tcp PORT JOBFILE...
+//   repro_serve --batch JOBFILE... [--spool DIR] [--workers N]
+//   repro_serve --dump-table2 NAME DIR
+//
+// Daemon options: --spool DIR, --workers N, --max-queue N,
+// --progress-ms MS.  A JOBFILE holds one SUBMIT request payload
+// exactly as it goes on the wire (docs/SERVING.md has a worked one).
+//
+// The batch mode runs the same core::server::Service the daemon runs —
+// no sockets, results printed to stdout one JSON object per line — so
+// `--batch job` and a daemon round-trip of the same job produce
+// byte-identical result objects.  scripts/serve_smoke.sh leans on that
+// to check the daemon against table2_atpg-style batch results.
+//
+// --dump-table2 synthesizes one Table II original/retimed pair through
+// the shared bench harness and writes NAME.orig.bench and
+// NAME.ret.bench into DIR, giving tests and the smoke script real
+// paper circuits to submit.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/server/framing.h"
+#include "core/server/protocol.h"
+#include "core/server/server.h"
+#include "core/server/service.h"
+#include "experiments.h"
+#include "netlist/bench_io.h"
+
+namespace {
+
+using namespace retest;
+using namespace retest::core::server;
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: repro_serve --unix PATH | --tcp PORT | --stdio\n"
+         "                   [--spool DIR] [--workers N] [--max-queue N]\n"
+         "                   [--progress-ms MS]\n"
+         "       repro_serve --client PATH JOBFILE...\n"
+         "       repro_serve --client-tcp PORT JOBFILE...\n"
+         "       repro_serve --batch JOBFILE... [--spool DIR] [--workers N]\n"
+         "       repro_serve --dump-table2 NAME DIR\n"
+         "\n"
+         "A JOBFILE holds one SUBMIT payload (docs/SERVING.md).\n";
+}
+
+Server* g_server = nullptr;
+
+extern "C" void HandleTerm(int) {
+  if (g_server != nullptr) g_server->NotifyShutdown();
+}
+
+std::optional<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Pulls `"key": <number>` out of a response payload.  The tool reads
+/// only numbers it wrote itself (the repo emits JSON but never parses
+/// it in library code), so a string scan is all the client needs.
+long JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtol(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+std::string JsonType(const std::string& json) {
+  const std::string needle = "\"type\": \"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t start = at + needle.size();
+  const std::size_t end = json.find('"', start);
+  return json.substr(start, end - start);
+}
+
+/// Sends every job file over one connection and prints each received
+/// frame payload as one line until all submissions resolved.
+int RunClient(int fd, const std::vector<std::string>& job_files) {
+  FrameDecoder decoder;
+  std::string payload;
+  std::string error;
+
+  // hello comes first on every connection.
+  if (ReadFrame(fd, decoder, payload, error) != FrameDecoder::Next::kFrame) {
+    std::fprintf(stderr, "repro_serve: no hello frame: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s\n", payload.c_str());
+
+  for (const std::string& path : job_files) {
+    const auto request = ReadWholeFile(path);
+    if (!request) {
+      std::fprintf(stderr, "repro_serve: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    if (!WriteFrame(fd, *request)) {
+      std::fprintf(stderr, "repro_serve: cannot send %s\n", path.c_str());
+      return 2;
+    }
+  }
+
+  std::set<long> pending;            // accepted job ids awaiting results
+  std::size_t unresolved = job_files.size();  // submissions w/o a verdict
+  bool failed = false;
+  while (unresolved > 0 || !pending.empty()) {
+    const auto next = ReadFrame(fd, decoder, payload, error);
+    if (next != FrameDecoder::Next::kFrame) {
+      std::fprintf(stderr, "repro_serve: connection lost: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    std::printf("%s\n", payload.c_str());
+    std::fflush(stdout);
+    const std::string type = JsonType(payload);
+    if (type == "accepted") {
+      pending.insert(JsonNumber(payload, "id"));
+      --unresolved;
+    } else if (type == "rejected" || type == "error") {
+      if (unresolved > 0) --unresolved;
+      failed = true;
+    } else if (type == "result") {
+      // A result either completes one of this connection's accepted
+      // submissions or answers a RESULT re-fetch (its id was never
+      // accepted here); both resolve one pending job file.
+      if (pending.erase(JsonNumber(payload, "id")) == 0 && unresolved > 0) {
+        --unresolved;
+      }
+      const std::string needle = "\"status\": \"ok\"";
+      if (payload.find(needle) == std::string::npos) failed = true;
+    } else if (type == "goodbye") {
+      break;
+    }
+  }
+  return failed ? 1 : 0;
+}
+
+int RunBatch(const std::vector<std::string>& job_files,
+             const ServiceOptions& options) {
+  Service service(options);
+  int exit_code = 0;
+  for (const std::string& path : job_files) {
+    const auto payload = ReadWholeFile(path);
+    if (!payload) {
+      std::fprintf(stderr, "repro_serve: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    core::DiagnosticList diags;
+    const auto request = ParseRequest(*payload, diags);
+    if (!request || request->verb != Verb::kSubmit) {
+      std::fprintf(stderr, "repro_serve: %s is not a SUBMIT payload:\n%s\n",
+                   path.c_str(), diags.ToString().c_str());
+      return 2;
+    }
+    const Service::Submission submission = service.Submit(request->spec);
+    if (!submission.accepted) {
+      std::fprintf(stderr, "repro_serve: %s rejected (%s):\n%s\n",
+                   path.c_str(), submission.reject_reason.c_str(),
+                   submission.diagnostics.ToString().c_str());
+      exit_code = 1;
+      continue;
+    }
+    const auto record = service.Wait(submission.id);
+    if (!record || record->result_json.empty()) {
+      std::fprintf(stderr, "repro_serve: job %llu produced no result\n",
+                   static_cast<unsigned long long>(submission.id));
+      exit_code = 1;
+      continue;
+    }
+    std::printf("%s\n", record->result_json.c_str());
+    if (record->state != core::server::JobState::kDone) exit_code = 1;
+  }
+  return exit_code;
+}
+
+int DumpTable2(const std::string& name, const std::string& dir) {
+  for (const bench::Variant& variant : bench::Table2Variants()) {
+    if (std::string(variant.fsm) != name) continue;
+    const bench::Prepared prepared = bench::PrepareVariant(variant);
+    const std::string orig_path = dir + "/" + name + ".orig.bench";
+    const std::string ret_path = dir + "/" + name + ".ret.bench";
+    std::ofstream orig(orig_path), ret(ret_path);
+    netlist::WriteBench(prepared.original, orig);
+    netlist::WriteBench(prepared.retimed, ret);
+    if (!orig.flush() || !ret.flush()) {
+      std::fprintf(stderr, "repro_serve: cannot write into %s\n",
+                   dir.c_str());
+      return 2;
+    }
+    std::printf("%s\n%s\n", orig_path.c_str(), ret_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "repro_serve: no Table II variant named %s\n",
+               name.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  bool stdio = false;
+  std::string client_unix;
+  int client_tcp = -1;
+  bool batch = false;
+  std::string dump_name;
+  std::string dump_dir;
+  std::vector<std::string> job_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "repro_serve: %s needs an argument\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg == "--unix") {
+      options.unix_path = next("--unix");
+    } else if (arg == "--tcp") {
+      options.tcp_port = std::atoi(next("--tcp"));
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--spool") {
+      options.service.spool_dir = next("--spool");
+    } else if (arg == "--workers") {
+      options.service.num_workers = std::atoi(next("--workers"));
+    } else if (arg == "--max-queue") {
+      options.service.max_queue =
+          static_cast<std::size_t>(std::atol(next("--max-queue")));
+    } else if (arg == "--progress-ms") {
+      options.progress_ms = std::atol(next("--progress-ms"));
+    } else if (arg == "--client") {
+      client_unix = next("--client");
+    } else if (arg == "--client-tcp") {
+      client_tcp = std::atoi(next("--client-tcp"));
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (arg == "--dump-table2") {
+      dump_name = next("--dump-table2");
+      dump_dir = next("--dump-table2 DIR");
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "repro_serve: unknown option %s\n", arg.c_str());
+      PrintUsage(std::cerr);
+      return 2;
+    } else {
+      job_files.push_back(arg);
+    }
+  }
+
+  if (!dump_name.empty()) return DumpTable2(dump_name, dump_dir);
+
+  if (!client_unix.empty() || client_tcp >= 0) {
+    if (job_files.empty()) {
+      std::fprintf(stderr, "repro_serve: client mode needs JOBFILEs\n");
+      return 2;
+    }
+    std::string error;
+    const int fd = client_unix.empty() ? ConnectTcp(client_tcp, error)
+                                       : ConnectUnix(client_unix, error);
+    if (fd < 0) {
+      std::fprintf(stderr, "repro_serve: %s\n", error.c_str());
+      return 2;
+    }
+    const int code = RunClient(fd, job_files);
+    ::close(fd);
+    return code;
+  }
+
+  if (batch) {
+    if (job_files.empty()) {
+      std::fprintf(stderr, "repro_serve: --batch needs JOBFILEs\n");
+      return 2;
+    }
+    return RunBatch(job_files, options.service);
+  }
+
+  if (options.unix_path.empty() && options.tcp_port < 0 && !stdio) {
+    PrintUsage(std::cerr);
+    return 2;
+  }
+
+  Server server(options);
+  g_server = &server;
+  std::signal(SIGTERM, HandleTerm);
+  std::signal(SIGINT, HandleTerm);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (stdio) return server.RunStdio(0, 1);
+
+  core::DiagnosticList diags;
+  if (!server.Start(diags)) {
+    std::fprintf(stderr, "repro_serve: cannot start:\n%s\n",
+                 diags.ToString().c_str());
+    return 2;
+  }
+  if (server.port() >= 0) {
+    std::printf("listening tcp 127.0.0.1:%d\n", server.port());
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("listening unix %s\n", options.unix_path.c_str());
+  }
+  std::fflush(stdout);
+  server.Run();
+  return 0;
+}
