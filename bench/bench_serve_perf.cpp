@@ -33,6 +33,7 @@
 // 4 JSON unwritable.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -127,11 +128,25 @@ std::string JsonType(const std::string& json) {
   return JsonField(json, "type");
 }
 
-/// One client connection: submit `payloads`, collect one result frame
-/// per submission into `results` (keyed by job name, volatile fields
-/// masked).  Returns false on any protocol failure.
+/// A client blocked on one frame for longer than this counts as a
+/// hang: far beyond any watchdog deadline or drain the server could
+/// legitimately be sitting on, so the serving layer stopped answering.
+constexpr double kHangThresholdMs = 60'000;
+
+/// Per-client observability for the overload / hang verdicts.
+struct ClientOutcome {
+  long retries = 0;        ///< SUBMITs re-sent after queue_full.
+  double max_wait_ms = 0;  ///< Longest single blocking frame read.
+};
+
+/// One client connection: submit `payloads` (each awaiting its
+/// accepted frame, with bounded backoff-retry on queue_full rejects),
+/// collect one result frame per submission into `results` (keyed by
+/// job name, volatile fields masked).  Returns false on any protocol
+/// failure.
 bool RunClientThread(int port, const std::vector<std::string>& payloads,
-                     std::map<std::string, std::string>& results) {
+                     std::map<std::string, std::string>& results,
+                     ClientOutcome& outcome) {
   std::string error;
   const int fd = ConnectTcp(port, error);
   if (fd < 0) return false;
@@ -139,17 +154,57 @@ bool RunClientThread(int port, const std::vector<std::string>& payloads,
   FrameDecoder decoder;
   std::string payload;
   bool ok = true;
-  if (ReadFrame(fd, decoder, payload, error) != FrameDecoder::Next::kFrame ||
-      JsonType(payload) != "hello") {
-    ok = false;
-  }
+  const auto read_frame = [&]() -> bool {
+    const double start = NowMs();
+    const bool got =
+        ReadFrame(fd, decoder, payload, error) == FrameDecoder::Next::kFrame;
+    outcome.max_wait_ms = std::max(outcome.max_wait_ms, NowMs() - start);
+    return got;
+  };
+  if (!read_frame() || JsonType(payload) != "hello") ok = false;
+
+  std::size_t outstanding = 0;  // Accepted jobs still owing a result.
   for (const std::string& request : payloads) {
     if (!ok) break;
-    ok = WriteFrame(fd, request);
+    int attempt = 0;
+    bool placed = false;
+    while (ok && !placed) {
+      if (!WriteFrame(fd, request)) {
+        ok = false;
+        break;
+      }
+      bool responded = false;
+      while (ok && !responded) {
+        if (!read_frame()) {
+          ok = false;
+          break;
+        }
+        const std::string type = JsonType(payload);
+        if (type == "result") {
+          results[JsonField(payload, "name")] = MaskVolatile(payload);
+          --outstanding;
+        } else if (type == "accepted") {
+          ++outstanding;
+          placed = true;
+          responded = true;
+        } else if (type == "rejected") {
+          responded = true;
+          if (JsonField(payload, "reason") == "queue_full" && attempt < 8) {
+            ++outcome.retries;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5L << std::min(attempt, 6)));
+            ++attempt;
+          } else {
+            ok = false;
+          }
+        } else if (type == "error") {
+          ok = false;
+        }
+      }
+    }
   }
-  std::size_t outstanding = payloads.size();
   while (ok && outstanding > 0) {
-    if (ReadFrame(fd, decoder, payload, error) != FrameDecoder::Next::kFrame) {
+    if (!read_frame()) {
       ok = false;
       break;
     }
@@ -165,6 +220,15 @@ bool RunClientThread(int port, const std::vector<std::string>& payloads,
   return ok;
 }
 
+/// One counter's current total out of the metrics registry (0 when the
+/// counter never registered — e.g. a REPRO_CHAOS_BUILD=OFF binary).
+long CounterTotal(const char* name) {
+  for (const auto& counter : core::metrics::Collect().counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
 struct LadderPoint {
   int clients = 0;
   double ms = 0;
@@ -173,7 +237,8 @@ struct LadderPoint {
 
 bool EmitJson(std::size_t num_jobs, int workers,
               const std::vector<LadderPoint>& ladder, bool identical,
-              bool smoke, const std::string& error) {
+              bool smoke, const std::string& error, long client_retries,
+              double max_wait_ms, bool hang_detected) {
   std::FILE* f = std::fopen("BENCH_serve.json", "w");
   if (!f) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -186,6 +251,12 @@ bool EmitJson(std::size_t num_jobs, int workers,
   std::fprintf(f, "  \"cpus\": %u,\n", std::thread::hardware_concurrency());
   std::fprintf(f, "  \"service_workers\": %d,\n", workers);
   std::fprintf(f, "  \"jobs_per_point\": %zu,\n", num_jobs);
+  std::fprintf(f, "  \"client_retries\": %ld,\n", client_retries);
+  std::fprintf(f, "  \"shed\": %ld,\n",
+               CounterTotal("serve.shed.deadline_expired"));
+  std::fprintf(f, "  \"max_client_wait_ms\": %.1f,\n", max_wait_ms);
+  std::fprintf(f, "  \"hang_detected\": %s,\n",
+               hang_detected ? "true" : "false");
   std::fprintf(f, "  \"client_ladder\": [\n");
   for (std::size_t i = 0; i < ladder.size(); ++i) {
     std::fprintf(f,
@@ -224,6 +295,8 @@ int main(int argc, char** argv) {
   std::vector<LadderPoint> ladder;
   bool identical = true;
   std::string error;
+  long client_retries = 0;
+  double max_wait_ms = 0;
   int exit_code = 0;
   try {
     const std::vector<std::string> payloads =
@@ -253,12 +326,15 @@ int main(int argc, char** argv) {
         shares[j % clients].push_back(payloads[j]);
       }
       std::vector<std::map<std::string, std::string>> results(clients);
+      std::vector<ClientOutcome> outcomes(clients);
       std::vector<char> ok(clients, 1);
       const double start = NowMs();
       std::vector<std::thread> threads;
       for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&, c] {
-          ok[c] = RunClientThread(port, shares[c], results[c]) ? 1 : 0;
+          ok[c] =
+              RunClientThread(port, shares[c], results[c], outcomes[c]) ? 1
+                                                                        : 0;
         });
       }
       for (auto& thread : threads) thread.join();
@@ -269,6 +345,8 @@ int main(int argc, char** argv) {
       for (int c = 0; c < clients; ++c) {
         if (ok[c] == 0) point_ok = false;
         merged.insert(results[c].begin(), results[c].end());
+        client_retries += outcomes[c].retries;
+        max_wait_ms = std::max(max_wait_ms, outcomes[c].max_wait_ms);
       }
       if (!point_ok || merged.size() != payloads.size()) {
         throw std::runtime_error("ladder point " + std::to_string(clients) +
@@ -300,12 +378,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_serve_perf: %s\n", error.c_str());
   }
 
-  if (!EmitJson(num_jobs, workers, ladder, identical, smoke, error)) {
+  // A client that sat on one frame read past the hang threshold means
+  // the serving layer stopped answering — a failed verdict even if the
+  // results eventually arrived byte-identical.
+  const bool hang_detected = max_wait_ms > kHangThresholdMs;
+  if (!EmitJson(num_jobs, workers, ladder, identical, smoke, error,
+                client_retries, max_wait_ms, hang_detected)) {
     return 4;
   }
-  std::printf("wrote BENCH_serve.json (%zu ladder points%s)\n", ladder.size(),
-              error.empty() ? "" : ", partial");
+  std::printf(
+      "wrote BENCH_serve.json (%zu ladder points%s, retries=%ld, "
+      "max wait %.1f ms)\n",
+      ladder.size(), error.empty() ? "" : ", partial", client_retries,
+      max_wait_ms);
   if (!error.empty()) exit_code = ladder.empty() ? 2 : 3;
+  if (hang_detected) {
+    std::fprintf(stderr,
+                 "bench_serve_perf: HANG: a client waited %.1f ms "
+                 "(threshold %.0f ms)\n",
+                 max_wait_ms, kHangThresholdMs);
+    exit_code = 1;
+  }
   if (!identical) exit_code = 1;
   return exit_code;
 }

@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Chaos smoke test for the repro_serve daemon (core/chaos,
+# docs/CHAOS.md), run as the repro_chaos_smoke ctest and as a CI leg:
+#
+#   chaos_smoke.sh <path-to-repro_serve>
+#
+# The in-process chaos tests arm sites through chaos::LoadSpec; this
+# script covers the operator path those tests cannot: the REPRO_CHAOS
+# environment variable arming a real daemon process, and the client's
+# --retry loop riding out injected overload across a real socket.
+#
+#   1. faults stay invisible in the answer: with worker stalls and a
+#      torn journal write injected, a job's result object is still
+#      byte-identical to an uninjected --batch run (modulo elapsed_ms),
+#      and the STATS metrics prove the injections actually happened;
+#   2. injected overload is survivable: with a forced queue_full
+#      admission reject, a client with --retry backs off, resubmits
+#      and lands the same byte-identical result;
+#   3. a malformed REPRO_CHAOS disarms loudly instead of running a
+#      silently chaos-free "green" daemon.
+set -u
+
+SERVE="$1"
+TMP="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2> /dev/null; then
+    kill -9 "$DAEMON_PID" 2> /dev/null
+    wait "$DAEMON_PID" 2> /dev/null
+  fi
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "chaos smoke FAIL: $*" >&2
+  exit 1
+}
+
+wait_for_file() {
+  local path="$1" tries=0
+  until [ -e "$path" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -gt 200 ] && fail "timed out waiting for $path"
+    sleep 0.05
+  done
+}
+
+# ---- inputs: a quick deterministic ATPG job on the dk16 circuit -----
+
+"$SERVE" --dump-table2 dk16 "$TMP" > /dev/null \
+  || fail "--dump-table2 dk16"
+
+{
+  printf 'REPRO-SERVE/1 SUBMIT\n'
+  printf 'name: chaos-quick\nkind: atpg\nseed: 7\n'
+  printf 'style: forward_ila\nrandom-rounds: 0\n'
+  printf 'backtracks-per-fault: 2\nmax-frames: 16\n'
+  printf 'redundancy-check: 0\nbudget-ms: 600000\n'
+  printf '\n--- netlist\n'
+  cat "$TMP/dk16.orig.bench"
+} > "$TMP/job_quick"
+
+printf 'REPRO-SERVE/1 STATS\n' > "$TMP/job_stats"
+
+# Reference result with no chaos anywhere near it.
+"$SERVE" --batch "$TMP/job_quick" > "$TMP/batch.json" \
+  || fail "--batch job_quick"
+
+# elapsed_ms is the one wall-clock field in a result object.
+mask() { sed -E 's/"elapsed_ms": [0-9]+/"elapsed_ms": _/g'; }
+mask < "$TMP/batch.json" > "$TMP/batch_masked"
+
+# ---- 1. injected stalls + torn journal; answer still bit-identical --
+
+SOCK="$TMP/chaos1.sock"
+REPRO_CHAOS='fleet.worker.stall=always:5;atpg.journal.torn_write=3:9' \
+  "$SERVE" --unix "$SOCK" --spool "$TMP/spool1" --workers 1 \
+  > "$TMP/daemon1.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK"
+
+"$SERVE" --client "$SOCK" "$TMP/job_quick" > "$TMP/client1.out" \
+  || fail "client round-trip under chaos (see $TMP/client1.out)"
+grep '"type": "result"' "$TMP/client1.out" | mask > "$TMP/chaos_result"
+cmp -s "$TMP/chaos_result" "$TMP/batch_masked" \
+  || fail "result under injected faults differs from batch:
+$(diff "$TMP/batch_masked" "$TMP/chaos_result")"
+
+# The injections really happened: the daemon's metrics say so.
+"$SERVE" --client "$SOCK" "$TMP/job_stats" > "$TMP/stats1.out" \
+  || fail "STATS round-trip"
+grep -q 'chaos.injected' "$TMP/stats1.out" \
+  || fail "REPRO_CHAOS armed but chaos.injected never surfaced in STATS"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain under chaos exited $status"
+
+# ---- 2. forced queue_full; --retry rides it out ---------------------
+
+SOCK2="$TMP/chaos2.sock"
+REPRO_CHAOS='serve.admission.queue_full=1' \
+  "$SERVE" --unix "$SOCK2" --spool "$TMP/spool2" --workers 1 \
+  > "$TMP/daemon2.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK2"
+
+# Without retries the forced reject is fatal...
+if "$SERVE" --client "$SOCK2" "$TMP/job_quick" > "$TMP/client2a.out" 2>&1
+then
+  fail "client without --retry survived a forced queue_full"
+fi
+grep -q 'queue_full' "$TMP/client2a.out" \
+  || fail "reject was not the structured queue_full token"
+
+# ...with --retry the client backs off and lands the same answer.
+# (Hit 1 of the chaos site was consumed above, so this submit is hit 2:
+# accepted first try; a second forced reject would need its own hits —
+# use a periodic trigger to keep rejecting.)
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null
+DAEMON_PID=""
+
+SOCK3="$TMP/chaos3.sock"
+REPRO_CHAOS='serve.admission.queue_full=1%2' \
+  "$SERVE" --unix "$SOCK3" --spool "$TMP/spool3" --workers 1 \
+  > "$TMP/daemon3.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK3"
+
+"$SERVE" --client "$SOCK3" --retry 4 --retry-base-ms 20 "$TMP/job_quick" \
+  > "$TMP/client3.out" 2> "$TMP/client3.err" \
+  || fail "client with --retry failed under forced queue_full:
+$(cat "$TMP/client3.err")"
+grep '"type": "result"' "$TMP/client3.out" | mask > "$TMP/retry_result"
+cmp -s "$TMP/retry_result" "$TMP/batch_masked" \
+  || fail "retried result differs from batch"
+grep -q 'client retries:' "$TMP/client3.err" \
+  || fail "client never reported its retries"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+status=$?
+DAEMON_PID=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain after retries exited $status"
+
+# ---- 3. malformed REPRO_CHAOS complains and disarms -----------------
+
+SOCK4="$TMP/chaos4.sock"
+REPRO_CHAOS='fleet.worker.stall=wat' \
+  "$SERVE" --unix "$SOCK4" --spool "$TMP/spool4" --workers 1 \
+  > "$TMP/daemon4.log" 2>&1 &
+DAEMON_PID=$!
+wait_for_file "$SOCK4"
+"$SERVE" --client "$SOCK4" "$TMP/job_quick" > /dev/null \
+  || fail "daemon with malformed REPRO_CHAOS did not serve"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2> /dev/null
+DAEMON_PID=""
+grep -q 'REPRO_CHAOS ignored' "$TMP/daemon4.log" \
+  || fail "malformed REPRO_CHAOS was swallowed silently"
+
+echo "chaos smoke: OK (bit-identity under faults, --retry overload, env arming)"

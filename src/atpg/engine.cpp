@@ -301,7 +301,9 @@ AtpgResult RunAtpg(const netlist::Circuit& circuit,
     bool stopped = false;
     for (int round = 0; round < options.random_rounds; ++round) {
       if (remaining.empty() || useless >= options.random_patience) break;
-      if (clock.ElapsedMs() > budget_ms) {
+      if (clock.ElapsedMs() > budget_ms ||
+          (options.stop != nullptr &&
+           options.stop->load(std::memory_order_relaxed))) {
         stopped = true;
         break;
       }

@@ -19,6 +19,7 @@
 // parallel_driver.h).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,16 @@ struct AtpgOptions {
   /// (resumable); they never corrupt committed results.
   long deadline_ms = 0;
   long fault_timeout_ms = 0;
+  /// External cooperative-cancel flag (not owned; may be null).  When
+  /// it turns true mid-run the engine preempts exactly like a
+  /// wall-clock budget expiry: in-flight searches abort, unfinished
+  /// faults commit as kUntried (journal-resumable), and the result
+  /// reports preempted.  The fleet wires JobContext::stop in here so a
+  /// per-job Cancel interrupts a running ATPG job; the watchdog
+  /// monitor latches it into the per-worker stop flags within ~10 ms.
+  /// Not part of the journal fingerprint: a resumed run may pass a
+  /// different pointer and still land on the bit-identical result.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Per-fault outcome.

@@ -1,11 +1,17 @@
 #include "atpg/journal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "core/chaos.h"
 #include "core/crc32.h"
+#include "core/metrics.h"
 #include "core/trace.h"
 #include "sim/logic3.h"
 
@@ -15,6 +21,21 @@ namespace {
 using core::StatusCode;
 
 constexpr char kRecordSeparator = '|';
+
+/// Syncs the directory containing `path` so a just-completed rename
+/// inside it survives a power cut.  Best-effort: some filesystems
+/// refuse directory fsync; the rename is still process-crash safe.
+void FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
 
 std::string EncodeSequence(const sim::InputSequence& sequence) {
   std::string out;
@@ -306,7 +327,10 @@ std::optional<JournalContents> LoadJournal(const std::string& path,
 std::unique_ptr<JournalWriter> JournalWriter::Open(
     const std::string& path, core::DiagnosticList& diags) {
   const std::string tmp = path + ".tmp";
-  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  std::FILE* file =
+      RETEST_CHAOS_FIRE("atpg.journal.open_error")
+          ? nullptr
+          : std::fopen(tmp.c_str(), "wb");
   if (file == nullptr) {
     diags.Add(StatusCode::kIoError,
               "cannot open checkpoint journal for writing", tmp);
@@ -323,8 +347,27 @@ JournalWriter::~JournalWriter() {
 }
 
 void JournalWriter::WriteLine(const std::string& body) {
-  std::fprintf(file_, "%s%c%08x\n", body.c_str(), kRecordSeparator,
-               core::Crc32(body));
+  if (torn_) return;
+  char crc[10];
+  std::snprintf(crc, sizeof crc, "%c%08x", kRecordSeparator,
+                core::Crc32(body));
+  std::string line = body;
+  line += crc;
+  line += '\n';
+  long keep = 0;
+  if (RETEST_CHAOS_ARG("atpg.journal.torn_write",
+                       static_cast<long>(line.size() / 2), &keep)) {
+    // Chaos: simulate a crash mid-write.  Emit a prefix of this record
+    // and go silent — the in-memory run continues, but the file ends
+    // in exactly the torn final line LoadJournal must drop on resume.
+    torn_ = true;
+    const std::size_t bytes = std::min(
+        line.size(), static_cast<std::size_t>(std::max(0L, keep)));
+    std::fwrite(line.data(), 1, bytes, file_);
+    std::fflush(file_);
+    return;
+  }
+  std::fwrite(line.data(), 1, line.size(), file_);
 }
 
 void JournalWriter::WriteHeader(std::uint32_t fingerprint, std::uint64_t seed,
@@ -378,12 +421,22 @@ void JournalWriter::WriteEnd(int detected, int redundant, int aborted,
 
 bool JournalWriter::Activate(core::DiagnosticList& diags) {
   if (activated_) return true;
+  // Durability order: records -> file fsync -> rename -> directory
+  // fsync.  Without the first fsync the rename can publish a name
+  // whose bytes are still in the page cache; without the second the
+  // rename itself can vanish in a power cut (docs/ROBUSTNESS.md).
   std::fflush(file_);
+  ::fsync(fileno(file_));
   if (std::rename((path_ + ".tmp").c_str(), path_.c_str()) != 0) {
     diags.Add(StatusCode::kIoError,
               "cannot rename checkpoint journal into place", path_);
     return false;
   }
+  FsyncParentDir(path_);
+  RETEST_COUNTER_ADD("atpg.journal.fsync", "syncs", "atpg",
+                     "journal file + parent-directory fsync pairs at "
+                     "activation",
+                     1);
   activated_ = true;
   return true;
 }

@@ -125,6 +125,10 @@ class JournalWriter {
 
   /// Renames "<path>.tmp" over `path`; reports failure once via
   /// `diags` (the writer keeps appending to the tmp file regardless).
+  /// Durability order: the tmp file is fsync'd before the rename and
+  /// the parent directory after it, so the activated name can never
+  /// refer to records still in the page cache and the rename itself
+  /// survives a power cut (counter: atpg.journal.fsync).
   bool Activate(core::DiagnosticList& diags);
 
   /// Flushes buffered records to the OS (fflush; crash-of-process
@@ -138,6 +142,10 @@ class JournalWriter {
   std::FILE* file_;
   std::string path_;
   bool activated_ = false;
+  /// Chaos (atpg.journal.torn_write): a torn write leaves a record
+  /// prefix on disk and silences the writer — the in-memory run is
+  /// unaffected, but the file freezes in its crash-shaped state.
+  bool torn_ = false;
 };
 
 }  // namespace retest::atpg

@@ -101,10 +101,14 @@ class Driver {
     result_.threads_used = threads;
     std::vector<WorkerModels> models(static_cast<std::size_t>(threads));
     std::optional<core::Watchdog> watchdog;
-    if (fault_timeout_ms_ > 0) {
+    if (fault_timeout_ms_ > 0 || options_.stop != nullptr) {
+      // Also constructed (with no limits) when an external cancel flag
+      // is wired in: the monitor latches AtpgOptions::stop into the
+      // per-worker flags, bounding cancel latency for in-flight
+      // searches to one poll interval.
       core::WatchdogLimits limits;
       limits.fault_timeout_ms = fault_timeout_ms_;
-      watchdog.emplace(limits, threads, &stop_);
+      watchdog.emplace(limits, threads, &stop_, options_.stop);
     }
     core::ThreadPool pool(threads);
     pool.ParallelFor(queue_.size() - base, [&](int worker, std::size_t i) {
@@ -166,6 +170,16 @@ class Driver {
   /// (and every in-flight PODEM via PodemOptions::stop) sees it.
   bool OutOfTime() {
     if (stop_.load(std::memory_order_relaxed)) return true;
+    if (options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed)) {
+      if (!stop_.exchange(true, std::memory_order_relaxed)) {
+        RETEST_COUNTER_ADD("atpg.det.cancel_stops", "stops", "atpg",
+                           "deterministic phases cut short by an external "
+                           "cancel (AtpgOptions::stop)",
+                           1);
+      }
+      return true;
+    }
     if (ElapsedMs() > budget_ms_) {
       if (!stop_.exchange(true, std::memory_order_relaxed)) {
         RETEST_COUNTER_ADD("atpg.det.budget_stops", "stops", "atpg",

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/chaos.h"
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "core/trace.h"
@@ -117,12 +118,16 @@ void Fleet::RunJob(int worker, Job& job, bool stolen) {
                        "another worker's queue",
                        1);
   }
-  if (cancelled_.load(std::memory_order_relaxed)) {
+  if (cancelled_.load(std::memory_order_relaxed) ||
+      job.cancel_requested.load(std::memory_order_acquire)) {
     job.cancelled = true;
     cancelled_jobs_.fetch_add(1, std::memory_order_relaxed);
     FinishJob(job);
     return;
   }
+  // Chaos: an armed fleet.worker.stall spec delays the claim-to-run
+  // window, widening races with Cancel(id) and drain (docs/CHAOS.md).
+  RETEST_CHAOS_STALL("fleet.worker.stall", 25);
   JobContext context;
   context.job_id = job.id;
   context.worker = worker;
@@ -131,6 +136,7 @@ void Fleet::RunJob(int worker, Job& job, bool stolen) {
   context.name = &job.options.name;
   context.checkpoint_path = &job.options.checkpoint_path;
   context.cancelled = &cancelled_;
+  context.stop = &job.stop;
   const auto start = std::chrono::steady_clock::now();
   {
     RETEST_TRACE_SPAN(job_span, "fleet.job");
@@ -219,10 +225,40 @@ bool Fleet::Cancelled(std::size_t id) const {
 
 void Fleet::Cancel() {
   cancelled_.store(true, std::memory_order_relaxed);
+  // Raise every live job's stop flag too, so bodies that only watch
+  // JobContext::stop drain as promptly as JobContext::cancelled users.
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    for (const auto& job : jobs_) {
+      if (!job->done.load(std::memory_order_acquire)) {
+        job->stop.store(true, std::memory_order_release);
+      }
+    }
+  }
   // Unstarted jobs still flow through the workers (RunJob's cancelled
   // path) so completion accounting stays in one place; wake everyone
   // so the drain is prompt.
   work_cv_.notify_all();
+}
+
+bool Fleet::Cancel(std::size_t id) {
+  Job* job = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (id >= jobs_.size()) return false;
+    job = jobs_[id].get();
+  }
+  if (job->done.load(std::memory_order_acquire)) return false;
+  job->cancel_requested.store(true, std::memory_order_release);
+  job->stop.store(true, std::memory_order_release);
+  RETEST_COUNTER_ADD("fleet.jobs.cancel_requested", "jobs", "fleet",
+                     "per-job Cancel(id) calls that reached a live job",
+                     1);
+  // A queued target drains through RunJob's cancelled path; a running
+  // one observes JobContext::stop (the ATPG watchdog mirrors it into
+  // the per-worker PODEM stop flags within one poll interval).
+  work_cv_.notify_all();
+  return true;
 }
 
 FleetStats Fleet::Stats() const {

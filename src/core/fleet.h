@@ -89,6 +89,12 @@ struct JobContext {
   /// Fleet-wide drain flag: set by Cancel(); long-running bodies may
   /// poll it (e.g. as a PodemOptions::stop) to finish early.
   const std::atomic<bool>* cancelled = nullptr;
+  /// Per-job preemption flag: set by Cancel(id) on this job and by the
+  /// fleet-wide Cancel().  An ATPG/preserve body wires it into
+  /// AtpgOptions::stop so an in-flight search aborts into clean
+  /// kUntried journal commits (bit-identical resubmit); other bodies
+  /// may poll it directly.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Point-in-time scheduler statistics (monotone counters since
@@ -133,8 +139,19 @@ class Fleet {
 
   /// Graceful drain: queued jobs that have not started are completed
   /// as cancelled without running; running jobs see
-  /// JobContext::cancelled and finish on their own terms.
+  /// JobContext::cancelled / JobContext::stop and finish on their own
+  /// terms.
   void Cancel();
+
+  /// Per-job cancel.  A queued target is skipped (drains through the
+  /// workers exactly like a fleet-wide cancel, so Cancelled(id) turns
+  /// true); a *running* target has its JobContext::stop flag raised —
+  /// preemptive for bodies that honor it (the ATPG engine aborts
+  /// in-flight searches into kUntried journal commits), advisory for
+  /// bodies that do not.  Returns false when `id` is unknown or
+  /// already finished; true when the cancel was delivered.  The caller
+  /// still Wait()s for the job to observe its final state.
+  bool Cancel(std::size_t id);
 
   FleetStats Stats() const;
 
@@ -145,6 +162,8 @@ class Fleet {
     JobFn fn;
     std::atomic<bool> done{false};
     bool cancelled = false;
+    std::atomic<bool> cancel_requested{false};  ///< Cancel(id) hit it.
+    std::atomic<bool> stop{false};     ///< JobContext::stop target.
     std::exception_ptr error;
   };
   /// One worker's priority deque.  `mutex` is leaf-level: never held

@@ -4,9 +4,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "core/chaos.h"
 #include "core/metrics.h"
 
 namespace retest::core::server {
@@ -78,7 +80,25 @@ FrameDecoder::Next FrameDecoder::Pop(std::string& payload) {
 }
 
 bool WriteFrame(int fd, std::string_view payload) {
-  const std::string frame = EncodeFrame(payload);
+  std::string frame = EncodeFrame(payload);
+  // Chaos (transport boundary): truncation cuts the frame after `arg`
+  // bytes and reports failure (the peer sees EOF inside a frame — a
+  // structured bad_frame, never a hang); a bit flip corrupts one
+  // payload byte with the length header intact, the torn-but-
+  // plausible case the decoder's consumers must survive.
+  long cut = 0;
+  const bool truncate = RETEST_CHAOS_ARG(
+      "serve.frame.truncate", static_cast<long>(frame.size() / 2), &cut);
+  bool fail_after_write = false;
+  if (truncate) {
+    frame.resize(std::min(frame.size(),
+                          static_cast<std::size_t>(std::max(0L, cut))));
+    fail_after_write = true;
+  } else if (frame.size() > kFrameHeaderBytes) {
+    RETEST_CHAOS_CORRUPT("serve.frame.bitflip",
+                         frame.data() + kFrameHeaderBytes,
+                         frame.size() - kFrameHeaderBytes);
+  }
   std::size_t written = 0;
   while (written < frame.size()) {
     // MSG_NOSIGNAL suppresses SIGPIPE on sockets; plain files/pipes
@@ -100,7 +120,7 @@ bool WriteFrame(int fd, std::string_view payload) {
   RETEST_COUNTER_ADD("serve.bytes.tx", "bytes", "serve",
                      "response bytes written (incl. headers)",
                      static_cast<long>(frame.size()));
-  return true;
+  return !fail_after_write;
 }
 
 FrameDecoder::Next ReadFrame(int fd, FrameDecoder& decoder,

@@ -444,11 +444,13 @@ std::string BuildProgress(const std::vector<JobProgress>& jobs,
 }
 
 std::string BuildStats(std::size_t queue_depth, std::uint64_t accepted,
-                       std::uint64_t rejected, std::uint64_t completed) {
+                       std::uint64_t rejected, std::uint64_t completed,
+                       std::uint64_t shed, std::uint64_t cancelled) {
   std::ostringstream out;
   out << "{\"type\": \"stats\", \"queue_depth\": " << queue_depth
       << ", \"accepted\": " << accepted << ", \"rejected\": " << rejected
-      << ", \"completed\": " << completed
+      << ", \"completed\": " << completed << ", \"shed\": " << shed
+      << ", \"cancelled\": " << cancelled
       << ", \"metrics\": " << metrics::ToJson(0) << "}";
   return out.str();
 }

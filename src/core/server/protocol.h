@@ -61,7 +61,7 @@ enum class Verb {
   kSubmit,  ///< Enqueue a job; answered with accepted/rejected.
   kQuery,   ///< One job's state snapshot.
   kResult,  ///< A finished job's result frame (spool-backed).
-  kCancel,  ///< Cancel a queued job.
+  kCancel,  ///< Cancel a queued or running job (running: preemptive).
   kPing,    ///< Liveness probe; answered with pong.
   kStats,   ///< Metrics snapshot + job counts.
 };
@@ -130,8 +130,12 @@ struct JobProgress {
 std::string BuildProgress(const std::vector<JobProgress>& jobs,
                           std::size_t queue_depth, bool with_metrics);
 
-/// `stats`: counters snapshot + service totals.
+/// `stats`: counters snapshot + service totals.  `shed` counts queued
+/// jobs dropped because their deadline_ms expired before a worker
+/// picked them up (their results carry reason deadline_expired);
+/// `cancelled` counts every job that finished cancelled.
 std::string BuildStats(std::size_t queue_depth, std::uint64_t accepted,
-                       std::uint64_t rejected, std::uint64_t completed);
+                       std::uint64_t rejected, std::uint64_t completed,
+                       std::uint64_t shed, std::uint64_t cancelled);
 
 }  // namespace retest::core::server

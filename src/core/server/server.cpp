@@ -11,6 +11,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "core/chaos.h"
 #include "core/metrics.h"
 #include "core/server/framing.h"
 
@@ -238,6 +239,10 @@ void Server::ServeConnection(std::shared_ptr<Connection> conn) {
   std::string error;
   bool keep_going = true;
   while (keep_going && !shutdown_.load()) {
+    // Chaos: a stalled reader thread — the connection stops consuming
+    // for a while, but the push paths (results, progress) and every
+    // other connection must stay live.
+    RETEST_CHAOS_STALL("serve.read.stall", 50);
     switch (ReadFrame(conn->fd_in, decoder, payload, error)) {
       case FrameDecoder::Next::kFrame:
         keep_going = HandleRequest(*conn, payload);
@@ -253,6 +258,13 @@ void Server::ServeConnection(std::shared_ptr<Connection> conn) {
         break;
     }
   }
+  // A shutdown-induced exit (keep_going still true) leaves the session
+  // open: the drain pass in Run()/RunStdio() still owes it result
+  // pushes and the goodbye frame, and closes it afterwards.  Closing
+  // here instead would silently drop those frames for any client whose
+  // request raced the shutdown.  Only a client EOF or a poisoned
+  // stream tears the connection down from this thread.
+  if (keep_going) return;
   std::lock_guard<std::mutex> lock(conn->write_mutex);
   if (conn->open) {
     conn->open = false;
@@ -327,7 +339,8 @@ bool Server::HandleRequest(Connection& conn, const std::string& payload) {
         return SendFrame(conn,
                          BuildError("not_cancellable",
                                     "job " + std::to_string(request->id) +
-                                        " is unknown or already running"));
+                                        " is unknown, already finished, or "
+                                        "not preemptible"));
       }
       const auto record = service_.Query(request->id);
       JobProgress progress;
@@ -347,7 +360,8 @@ bool Server::HandleRequest(Connection& conn, const std::string& payload) {
     case Verb::kStats:
       return SendFrame(conn,
                        BuildStats(service_.queue_depth(), service_.accepted(),
-                                  service_.rejected(), service_.completed()));
+                                  service_.rejected(), service_.completed(),
+                                  service_.shed(), service_.cancelled()));
   }
   return false;
 }

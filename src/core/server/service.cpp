@@ -1,5 +1,9 @@
 #include "core/server/service.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -10,6 +14,7 @@
 
 #include "analyze/certify.h"
 #include "atpg/engine.h"
+#include "core/chaos.h"
 #include "core/crc32.h"
 #include "core/metrics.h"
 #include "core/preserve.h"
@@ -30,19 +35,66 @@ double MsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Syncs the directory containing `path` so a just-completed rename
+/// inside it survives a power cut.  Best-effort (some filesystems
+/// refuse directory fsync).
+void FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
 /// tmp+rename write, mirroring the journal writer's durability idiom:
-/// a crash mid-write never leaves a half-written spool file behind.
+/// write -> fsync(file) -> rename -> fsync(directory), so a crash (or
+/// power cut) at any point leaves either the old file or the complete
+/// new one — never a half-written spool entry.
+///
+/// Chaos sites: serve.spool.write_error fails the write outright (the
+/// caller's error path must cope); serve.spool.torn_write renames a
+/// truncated file into place and still reports success — the
+/// silent-corruption case RecoverSpool and the RESULT sanity gate must
+/// catch.
 bool WriteFileAtomic(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << content;
-    if (!out.flush()) return false;
+  if (RETEST_CHAOS_FIRE("serve.spool.write_error")) return false;
+  long keep = 0;
+  const bool torn = RETEST_CHAOS_ARG("serve.spool.torn_write",
+                                     static_cast<long>(content.size() / 2),
+                                     &keep);
+  const std::size_t want =
+      torn ? std::min(content.size(),
+                      static_cast<std::size_t>(std::max(0L, keep)))
+           : content.size();
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < want) {
+    const ssize_t n = ::write(fd, content.data() + written, want - written);
+    if (n <= 0) {
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
   }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) return false;
   std::error_code ec;
   fs::rename(tmp, path, ec);
-  return !ec;
+  if (ec) return false;
+  FsyncParentDir(path);
+  RETEST_COUNTER_ADD("serve.spool.fsync", "syncs", "serve",
+                     "spool file + parent-directory fsync pairs per "
+                     "atomic write",
+                     1);
+  return true;
 }
 
 std::optional<std::string> ReadFile(const std::string& path) {
@@ -238,6 +290,10 @@ Service::Submission Service::SubmitInternal(const JobSpec& spec,
       submission.reject_reason = "draining";
     } else if (queued_ >= options_.max_queue) {
       submission.reject_reason = "queue_full";
+    } else if (RETEST_CHAOS_FIRE("serve.admission.queue_full")) {
+      // Chaos: forced overload — drives the client retry/backoff path
+      // without actually filling the queue.
+      submission.reject_reason = "queue_full";
     }
     if (!submission.reject_reason.empty()) {
       submission.queue_depth = queued_;
@@ -293,12 +349,23 @@ Service::Submission Service::SubmitInternal(const JobSpec& spec,
 
 void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
   RETEST_TRACE_SPAN(span, "serve.job");
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     rec.started = Clock::now();
     --queued_;
+    const double waited = MsBetween(rec.submitted, rec.started);
     if (rec.cancel_requested) {
       rec.state = JobState::kCancelled;
+    } else if (rec.spec.deadline_ms > 0 &&
+               waited >= static_cast<double>(rec.spec.deadline_ms)) {
+      // Deadline-aware shedding: the job's whole deadline elapsed in
+      // the queue, so running it now can only burn a worker on a
+      // result nobody can use in time.  Shed it with a structured
+      // reason instead (docs/SERVING.md).
+      rec.state = JobState::kCancelled;
+      rec.cancel_requested = true;
+      shed = true;
     } else {
       rec.state = JobState::kRunning;
     }
@@ -307,10 +374,19 @@ void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
                        MsBetween(rec.submitted, rec.started));
   }
   if (rec.state == JobState::kCancelled) {
+    if (shed) {
+      shed_.fetch_add(1);
+      RETEST_COUNTER_ADD("serve.shed.deadline_expired", "jobs", "serve",
+                         "queued jobs shed because deadline_ms expired "
+                         "before a worker picked them up",
+                         1);
+    }
     std::ostringstream out;
     out << "{\"type\": \"result\", \"id\": " << rec.id << ", \"name\": \""
         << JsonEscape(rec.spec.name) << "\", \"kind\": \""
-        << ToString(rec.spec.kind) << "\", \"status\": \"cancelled\"}";
+        << ToString(rec.spec.kind) << "\", \"status\": \"cancelled\"";
+    if (shed) out << ", \"reason\": \"deadline_expired\"";
+    out << "}";
     FinishJob(rec, JobState::kCancelled, out.str(), false);
     return;
   }
@@ -318,9 +394,35 @@ void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
   atpg::AtpgOptions atpg_options = rec.spec.atpg;
   atpg_options.num_threads = ctx.thread_budget;
   atpg_options.deadline_ms = ctx.deadline_ms;
+  // Per-job preemptive cancel: Service::Cancel raises this flag via
+  // Fleet::Cancel(id); the engine's watchdog mirrors it into in-flight
+  // searches, which then commit kUntried (journal-resumable).
+  atpg_options.stop = ctx.stop;
   if (ctx.checkpoint_path != nullptr) {
     atpg_options.checkpoint_path = *ctx.checkpoint_path;
   }
+
+  // A preempted run whose preemption was a cancel (not a budget or
+  // deadline expiry) finishes kCancelled: partial, timing-dependent
+  // counts are deliberately not reported — the journal left in the
+  // spool is the resumable state of record.
+  const auto finish_cancelled = [&](bool was_resumed) {
+    std::ostringstream cancelled;
+    cancelled << "{\"type\": \"result\", \"id\": " << rec.id
+              << ", \"name\": \"" << JsonEscape(rec.spec.name)
+              << "\", \"kind\": \"" << ToString(rec.spec.kind)
+              << "\", \"status\": \"cancelled\", \"preempted\": true, "
+              << "\"resumed\": " << (was_resumed ? "true" : "false") << "}";
+    RETEST_COUNTER_ADD("serve.jobs.cancel_preempted", "jobs", "serve",
+                       "running jobs preempted by CANCEL (journal kept "
+                       "for bit-identical resubmit)",
+                       1);
+    FinishJob(rec, JobState::kCancelled, cancelled.str(), was_resumed);
+  };
+  const auto cancel_requested = [&] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rec.cancel_requested;
+  };
 
   const Clock::time_point run_start = Clock::now();
   std::ostringstream out;
@@ -334,6 +436,10 @@ void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
         const atpg::AtpgResult result = atpg::RunAtpg(rec.circuit,
                                                       atpg_options);
         resumed = result.resumed;
+        if (result.preempted && cancel_requested()) {
+          finish_cancelled(resumed);
+          return;
+        }
         out << "\"status\": \"ok\", \"resumed\": "
             << (result.resumed ? "true" : "false") << ", \"preempted\": "
             << (result.preempted ? "true" : "false")
@@ -369,6 +475,10 @@ void Service::RunJob(JobRec& rec, const core::JobContext& ctx) {
         const atpg::AtpgResult atpg_result =
             atpg::RunAtpg(rec.circuit, atpg_options);
         resumed = atpg_result.resumed;
+        if (atpg_result.preempted && cancel_requested()) {
+          finish_cancelled(resumed);
+          return;
+        }
         core::TestSet original_set;
         original_set.tests = atpg_result.tests;
         const int prefix = cert.certificate.prefix_length;
@@ -432,8 +542,11 @@ void Service::FinishJob(JobRec& rec, JobState state, std::string result_json,
                          "jobs that ended in an error result", 1);
       break;
     default:
+      cancelled_.fetch_add(1);
       RETEST_COUNTER_ADD("serve.jobs.cancelled", "jobs", "serve",
-                         "jobs cancelled before they ran", 1);
+                         "jobs that finished cancelled (queued skips, "
+                         "deadline sheds and preemptive cancels)",
+                         1);
       break;
   }
   if (resumed) {
@@ -447,7 +560,13 @@ void Service::FinishJob(JobRec& rec, JobState state, std::string result_json,
     WriteFileAtomic(base + ".result.json", record.result_json);
     std::error_code ec;
     fs::remove(base + ".job", ec);
-    fs::remove(base + ".journal", ec);
+    // A cancelled job's journal is its resumable state of record —
+    // resubmitting the same spec replays it and lands on the
+    // bit-identical result of an uninterrupted run — so it survives;
+    // every other outcome retires it.
+    if (state != JobState::kCancelled) {
+      fs::remove(base + ".journal", ec);
+    }
     fs::remove(base + ".journal.tmp", ec);
   }
 
@@ -508,8 +627,27 @@ std::optional<std::string> Service::Result(std::uint64_t id) const {
     }
   }
   if (options_.spool_dir.empty()) return std::nullopt;
-  return ReadFile(options_.spool_dir + "/" + std::to_string(id) +
-                  ".result.json");
+  auto spooled = ReadFile(options_.spool_dir + "/" + std::to_string(id) +
+                          ".result.json");
+  if (!spooled) return std::nullopt;
+  // Sanity gate: a torn spool write (crash or chaos mid-rename) must
+  // come back as "no result", never be served as a silent wrong
+  // answer.  Complete results are one {...} JSON object.
+  const auto first = spooled->find_first_not_of(" \t\r\n");
+  const auto last = spooled->find_last_not_of(" \t\r\n");
+  if (first == std::string::npos || (*spooled)[first] != '{' ||
+      (*spooled)[last] != '}') {
+    RETEST_COUNTER_ADD("serve.spool.result_corrupt", "files", "serve",
+                       "spooled result files rejected by the RESULT "
+                       "sanity gate (truncated or malformed)",
+                       1);
+    std::fprintf(stderr,
+                 "repro_serve: spooled result for job %llu is truncated or "
+                 "malformed, refusing to serve it\n",
+                 static_cast<unsigned long long>(id));
+    return std::nullopt;
+  }
+  return spooled;
 }
 
 bool Service::Cancel(std::uint64_t id) {
@@ -517,9 +655,24 @@ bool Service::Cancel(std::uint64_t id) {
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   JobRec& rec = *it->second;
-  if (rec.state != JobState::kQueued) return rec.cancel_requested;
-  rec.cancel_requested = true;
-  return true;
+  if (rec.state == JobState::kQueued) {
+    rec.cancel_requested = true;
+    return true;
+  }
+  if (rec.state == JobState::kRunning) {
+    // Faultsim bodies have no cooperative stop hook — they run a
+    // bounded simulation, not a search — so an in-flight one cannot
+    // be preempted.
+    if (rec.spec.kind == JobKind::kFaultSim) return rec.cancel_requested;
+    rec.cancel_requested = true;
+    // Fleet's jobs_mutex_ is a leaf (the fleet never calls back into
+    // the service), so raising the stop flag under mutex_ is safe.
+    fleet_.Cancel(rec.fleet_id);
+    RETEST_COUNTER_ADD("serve.jobs.cancel_running", "jobs", "serve",
+                       "CANCEL requests that targeted a running job", 1);
+    return true;
+  }
+  return rec.cancel_requested;
 }
 
 std::optional<JobRecord> Service::Wait(std::uint64_t id) {

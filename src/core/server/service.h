@@ -119,9 +119,17 @@ class Service {
   /// job is unknown or not finished yet.
   std::optional<std::string> Result(std::uint64_t id) const;
 
-  /// Cancels a *queued* job (running jobs are not preempted; their
-  /// deadline is the watchdog's business).  True when the job will
-  /// report kCancelled.
+  /// Cancels a job.  Queued: the job reports kCancelled without
+  /// running.  Running atpg/preserve: *preemptive* — the fleet raises
+  /// the job's stop flag, the ATPG watchdog latches it into in-flight
+  /// searches within ~10 ms, unfinished faults commit kUntried and
+  /// the job reports kCancelled with its journal left in the spool
+  /// (resubmitting the same spec resumes from it and lands on the
+  /// bit-identical result of an uninterrupted run).  Running faultsim
+  /// jobs have no cooperative stop hook: false.  Finished/unknown:
+  /// false (a finished job that was cancel_requested answers true).
+  /// A cancel that loses the race with completion yields the normal
+  /// result.
   bool Cancel(std::uint64_t id);
 
   /// Blocks until job `id` finished; returns its final record.
@@ -141,6 +149,12 @@ class Service {
   std::uint64_t accepted() const { return accepted_.load(); }
   std::uint64_t rejected() const { return rejected_.load(); }
   std::uint64_t completed() const { return completed_.load(); }
+  /// Queued jobs shed because their deadline_ms expired before a
+  /// worker picked them up (reason token: deadline_expired).
+  std::uint64_t shed() const { return shed_.load(); }
+  /// Jobs that finished kCancelled (queued skips, sheds and
+  /// preemptive cancels).
+  std::uint64_t cancelled() const { return cancelled_.load(); }
 
  private:
   struct JobRec;
@@ -167,6 +181,8 @@ class Service {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
 };
 
 }  // namespace retest::core::server

@@ -39,9 +39,11 @@ WatchdogLimits WatchdogLimits::Resolve(const WatchdogLimits& explicit_limits) {
 }
 
 Watchdog::Watchdog(const WatchdogLimits& limits, int num_workers,
-                   std::atomic<bool>* global_stop)
+                   std::atomic<bool>* global_stop,
+                   const std::atomic<bool>* external_stop)
     : limits_(limits),
       global_stop_(global_stop),
+      external_stop_(external_stop),
       epoch_(std::chrono::steady_clock::now()) {
   slots_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
@@ -99,6 +101,12 @@ void Watchdog::MonitorLoop() {
     if (shutdown_) break;
 
     const std::int64_t now = NowNs();
+    // External cancel (per-job preemption): latch into the global stop
+    // so the per-worker mirroring below reaches in-flight searches.
+    if (external_stop_ != nullptr &&
+        external_stop_->load(std::memory_order_relaxed)) {
+      global_stop_->store(true, std::memory_order_relaxed);
+    }
     // Deadline: latch the global stop once.
     if (limits_.deadline_ms > 0 &&
         now > limits_.deadline_ms * 1'000'000LL &&

@@ -60,8 +60,14 @@ class Watchdog {
   /// Starts the monitor thread.  `global_stop` is the phase's shared
   /// preemption flag (not owned): the monitor mirrors it into every
   /// per-worker flag, and sets it itself when the deadline passes.
+  /// `external_stop` (optional, not owned) is an outside cancellation
+  /// request — e.g. Fleet's per-job JobContext::stop — that the
+  /// monitor latches into `global_stop` within one poll interval
+  /// (<= 10 ms), so a preemptive cancel reaches in-flight PODEM
+  /// searches with bounded latency even when no limit is configured.
   Watchdog(const WatchdogLimits& limits, int num_workers,
-           std::atomic<bool>* global_stop);
+           std::atomic<bool>* global_stop,
+           const std::atomic<bool>* external_stop = nullptr);
   ~Watchdog();
 
   Watchdog(const Watchdog&) = delete;
@@ -105,6 +111,7 @@ class Watchdog {
 
   const WatchdogLimits limits_;
   std::atomic<bool>* const global_stop_;
+  const std::atomic<bool>* const external_stop_;
   const std::chrono::steady_clock::time_point epoch_;
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::atomic<bool> deadline_expired_{false};

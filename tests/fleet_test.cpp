@@ -310,5 +310,61 @@ TEST(Fleet, CancelSkipsQueuedJobsAndDrains) {
   EXPECT_EQ(fleet.Stats().cancelled, 5);
 }
 
+TEST(Fleet, CancelByIdSkipsOneQueuedJobOnly) {
+  FleetOptions options;
+  options.num_workers = 1;
+  Fleet fleet(options);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  fleet.Submit({}, [&](const JobContext&) {
+    started.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::size_t> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(fleet.Submit({}, [&](const JobContext&) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(fleet.Cancel(queued[1] + 100));  // Unknown id.
+  EXPECT_TRUE(fleet.Cancel(queued[1]));         // The middle queued job.
+  release.store(true, std::memory_order_release);
+  fleet.WaitAll();
+  EXPECT_EQ(ran.load(), 2);  // The cancelled body never ran.
+  EXPECT_TRUE(fleet.Cancelled(queued[1]));
+  EXPECT_FALSE(fleet.Cancelled(queued[0]));
+  EXPECT_FALSE(fleet.Cancelled(queued[2]));
+  EXPECT_FALSE(fleet.Cancel(queued[0]));  // Finished: not cancellable.
+}
+
+TEST(Fleet, CancelByIdPreemptsARunningJobThroughItsStopFlag) {
+  FleetOptions options;
+  options.num_workers = 1;
+  Fleet fleet(options);
+  std::atomic<bool> started{false};
+  std::atomic<bool> observed_stop{false};
+  const std::size_t id = fleet.Submit({}, [&](const JobContext& ctx) {
+    started.store(true, std::memory_order_release);
+    // An honoring body (the service wires ctx.stop into
+    // AtpgOptions::stop) polls the flag and exits cleanly.
+    while (!ctx.stop->load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    observed_stop.store(true, std::memory_order_release);
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fleet.Cancel(id));  // Running: preemptive, not a refusal.
+  fleet.WaitAll();
+  EXPECT_TRUE(observed_stop.load(std::memory_order_acquire));
+}
+
 }  // namespace
 }  // namespace retest::core

@@ -1,0 +1,507 @@
+// Chaos and preemption contract of the serving stack: preemptive
+// CANCEL of a running ATPG job whose kept journal makes the resubmit
+// bit-identical, deadline-aware shedding of stale queued work, forced
+// queue_full admission faults, spool write errors and torn spool
+// results (refused by the RESULT sanity gate, never served), plus the
+// wire-level races: CANCEL of a running job over a socket, a shutdown
+// drain racing an in-flight CANCEL, and injected read stalls.  Every
+// injected fault either recovers bit-identically or yields one
+// structured diagnostic — never a hang, crash or silent wrong answer.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atpg/engine.h"
+#include "core/chaos.h"
+#include "core/crc32.h"
+#include "core/server/framing.h"
+#include "core/server/protocol.h"
+#include "core/server/server.h"
+#include "core/server/service.h"
+#include "core/testset.h"
+#include "fsm/benchmarks.h"
+#include "netlist/bench_io.h"
+#include "synth/synthesize.h"
+#include "tests/random_circuits.h"
+
+namespace retest::core::server {
+namespace {
+
+std::string TempDir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("serve_chaos_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+constexpr char kTinyBench[] =
+    "INPUT(a)\n"
+    "INPUT(b)\n"
+    "OUTPUT(y)\n"
+    "d = DFF(a)\n"
+    "y = AND(d, b)\n";
+
+/// Sub-second deterministic ATPG (the serve_test recipe).
+atpg::AtpgOptions QuickAtpg() {
+  atpg::AtpgOptions options;
+  options.style = atpg::AtpgStyle::kForwardIla;
+  options.random_rounds = 0;
+  options.backtracks_per_fault = 2;
+  options.max_frames = 16;
+  options.redundancy_check = false;
+  options.time_budget_ms = 600'000;
+  return options;
+}
+
+JobSpec QuickSpec(const std::string& name) {
+  JobSpec spec;
+  spec.name = name;
+  spec.netlist = kTinyBench;
+  spec.atpg = QuickAtpg();
+  return spec;
+}
+
+/// A job that runs long enough (hundreds of ms on dk16) to be caught
+/// in the kRunning state and preempted; still deterministic, so an
+/// uninterrupted reference run is feasible in-test.
+JobSpec LongSpec(const std::string& name) {
+  const netlist::Circuit circuit =
+      synth::Synthesize(fsm::MakeBenchmarkFsm("dk16"), {});
+  JobSpec spec;
+  spec.name = name;
+  spec.netlist = netlist::WriteBenchString(circuit);
+  spec.atpg.seed = 13;
+  spec.atpg.random_rounds = 0;
+  spec.atpg.backtracks_per_fault = 800;
+  spec.atpg.time_budget_ms = 600'000;
+  return spec;
+}
+
+std::string Field(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t start = at + needle.size();
+  std::size_t end = start;
+  if (json[start] == '"') {
+    ++start;
+    end = json.find('"', start);
+  } else {
+    end = json.find_first_of(",}", start);
+  }
+  return json.substr(start, end - start);
+}
+
+std::string TestsCrc(const std::vector<sim::InputSequence>& tests) {
+  core::TestSet set;
+  set.tests = tests;
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", core::Crc32(set.ToText()));
+  return crc;
+}
+
+int CountLines(const std::string& path) {
+  std::ifstream in(path);
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+/// Every test leaves the global chaos registry disarmed.
+class ServeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { chaos::Reset(); }
+  void TearDown() override { chaos::Reset(); }
+};
+
+// Tests that need RETEST_CHAOS_* sites to fire in library code skip
+// under REPRO_CHAOS_BUILD=OFF; the cancel/shed/drain tests run in both
+// builds — preemption must not depend on the chaos layer existing.
+#if RETEST_CHAOS
+#define RETEST_SKIP_WITHOUT_CHAOS_SITES() (void)0
+#else
+#define RETEST_SKIP_WITHOUT_CHAOS_SITES() \
+  GTEST_SKIP() << "chaos sites compiled out (REPRO_CHAOS_BUILD=OFF)"
+#endif
+
+// ---- Service-level preemption and chaos -----------------------------
+
+TEST_F(ServeChaosTest, CancelPreemptsARunningJobAndTheJournalResumes) {
+  const std::string spool = TempDir("cancel");
+  const JobSpec spec = LongSpec("preempt-me");
+
+  // Reference: an uninterrupted engine run of the exact configuration
+  // the service will use (parsed through the same total parser).
+  const auto parsed =
+      netlist::ParseBenchString(spec.netlist, spec.name, "netlist");
+  ASSERT_TRUE(parsed.ok());
+  atpg::AtpgOptions reference_options = spec.atpg;
+  reference_options.num_threads = 1;
+  const atpg::AtpgResult reference =
+      atpg::RunAtpg(*parsed.circuit, reference_options);
+  const std::string reference_crc = TestsCrc(reference.tests);
+
+  std::uint64_t id = 0;
+  {
+    Service service(ServiceOptions{.num_workers = 1, .spool_dir = spool});
+    const auto submission = service.Submit(spec);
+    ASSERT_TRUE(submission.accepted) << submission.diagnostics.ToString();
+    id = submission.id;
+    const std::string journal =
+        spool + "/" + std::to_string(id) + ".journal";
+
+    // Wait until the run has committed a journal prefix (header plus
+    // at least two fault records), so the cancel lands mid-run and the
+    // resubmit has real work to replay.
+    bool mid_run = false;
+    for (int i = 0; i < 20'000 && !mid_run; ++i) {
+      mid_run = CountLines(journal) >= 3;
+      if (!mid_run) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    ASSERT_TRUE(mid_run) << "job never committed a journal prefix";
+    const auto running = service.Query(id);
+    ASSERT_TRUE(running.has_value());
+    ASSERT_EQ(running->state, JobState::kRunning)
+        << "job finished before it could be cancelled; result: "
+        << running->result_json;
+
+    ASSERT_TRUE(service.Cancel(id));
+    const auto record = service.Wait(id);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->state, JobState::kCancelled);
+    EXPECT_EQ(Field(record->result_json, "status"), "cancelled");
+    EXPECT_EQ(Field(record->result_json, "preempted"), "true");
+    // Partial, timing-dependent counts are deliberately absent.
+    EXPECT_EQ(record->result_json.find("\"atpg\": {"), std::string::npos);
+    // The journal is the cancelled job's resumable state of record.
+    EXPECT_TRUE(std::filesystem::exists(journal));
+
+    // Resubmitting the same spec under the same id = dropping its .job
+    // back into the spool (exactly what crash recovery replays).
+    std::ofstream job(spool + "/" + std::to_string(id) + ".job",
+                      std::ios::binary);
+    job << BuildSubmitPayload(spec);
+  }
+
+  // The restarted service recovers the job, replays the journal and
+  // lands on the bit-identical result of an uninterrupted run.
+  Service resumed(ServiceOptions{.num_workers = 1, .spool_dir = spool});
+  const auto record = resumed.Wait(id);
+  ASSERT_TRUE(record.has_value()) << "cancelled job was not recovered";
+  EXPECT_EQ(record->state, JobState::kDone);
+  EXPECT_EQ(Field(record->result_json, "status"), "ok");
+  EXPECT_EQ(Field(record->result_json, "resumed"), "true");
+  EXPECT_EQ(Field(record->result_json, "tests_crc32"), reference_crc);
+
+  std::filesystem::remove_all(spool);
+}
+
+TEST_F(ServeChaosTest, ShedsAQueuedJobWhoseDeadlineExpiredInTheQueue) {
+  ServiceOptions one_worker;
+  one_worker.num_workers = 1;
+  Service service(one_worker);
+
+  // Occupy the only worker, then queue a job whose deadline can only
+  // expire while it waits.
+  const auto blocker = service.Submit(LongSpec("blocker"));
+  ASSERT_TRUE(blocker.accepted) << blocker.diagnostics.ToString();
+  bool running = false;
+  for (int i = 0; i < 20'000 && !running; ++i) {
+    const auto record = service.Query(blocker.id);
+    ASSERT_TRUE(record.has_value());
+    running = record->state == JobState::kRunning;
+    if (!running) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(running);
+
+  JobSpec stale = QuickSpec("stale");
+  stale.deadline_ms = 1;
+  const auto queued = service.Submit(stale);
+  ASSERT_TRUE(queued.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(service.Cancel(blocker.id));  // Free the worker.
+
+  const auto shed = service.Wait(queued.id);
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->state, JobState::kCancelled);
+  EXPECT_EQ(Field(shed->result_json, "status"), "cancelled");
+  EXPECT_EQ(Field(shed->result_json, "reason"), "deadline_expired");
+  EXPECT_EQ(service.shed(), 1u);
+
+  const auto preempted = service.Wait(blocker.id);
+  ASSERT_TRUE(preempted.has_value());
+  EXPECT_EQ(preempted->state, JobState::kCancelled);
+  EXPECT_GE(service.cancelled(), 2u);
+}
+
+TEST_F(ServeChaosTest, ForcedQueueFullRejectsOnceThenRecovers) {
+  // Chaos forces the overload answer without filling the queue: the
+  // client-visible contract (structured queue_full reject, later
+  // submits fine) is what retrying clients build on.
+  RETEST_SKIP_WITHOUT_CHAOS_SITES();
+  ASSERT_TRUE(chaos::LoadSpec("serve.admission.queue_full=1"));
+  ServiceOptions one_worker;
+  one_worker.num_workers = 1;
+  Service service(one_worker);
+  const auto bounced = service.Submit(QuickSpec("bounced"));
+  EXPECT_FALSE(bounced.accepted);
+  EXPECT_EQ(bounced.reject_reason, "queue_full");
+  EXPECT_TRUE(bounced.diagnostics.ok());  // The job itself was fine.
+  EXPECT_EQ(service.rejected(), 1u);
+
+  const auto retried = service.Submit(QuickSpec("retried"));
+  ASSERT_TRUE(retried.accepted);
+  const auto record = service.Wait(retried.id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JobState::kDone);
+  EXPECT_EQ(chaos::Injected("serve.admission.queue_full"), 1);
+}
+
+TEST_F(ServeChaosTest, SpoolWriteErrorDoesNotLoseTheAcceptedJob) {
+  RETEST_SKIP_WITHOUT_CHAOS_SITES();
+  ASSERT_TRUE(chaos::LoadSpec("serve.spool.write_error=always"));
+  const std::string spool = TempDir("werr");
+  Service service(ServiceOptions{.num_workers = 1, .spool_dir = spool});
+  const auto submission = service.Submit(QuickSpec("unspooled"));
+  ASSERT_TRUE(submission.accepted);  // Spool failure degrades, not drops.
+  const auto record = service.Wait(submission.id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JobState::kDone);
+  EXPECT_EQ(Field(record->result_json, "status"), "ok");
+  // The in-registry result is served even though nothing persisted.
+  const auto result = service.Result(submission.id);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(std::filesystem::exists(
+      spool + "/" + std::to_string(submission.id) + ".job"));
+  EXPECT_GE(chaos::Injected("serve.spool.write_error"), 2);  // .job+.result
+  std::filesystem::remove_all(spool);
+}
+
+TEST_F(ServeChaosTest, TornSpoolResultIsRefusedNotServed) {
+  // Hit 1 of serve.spool.torn_write is the .job write at submit; hit 2
+  // tears the .result.json write, keeping a 10-byte prefix — the
+  // silent-corruption case (the write itself reports success).
+  RETEST_SKIP_WITHOUT_CHAOS_SITES();
+  ASSERT_TRUE(chaos::LoadSpec("serve.spool.torn_write=2:10"));
+  const std::string spool = TempDir("torn");
+  std::uint64_t id = 0;
+  std::string live_result;
+  {
+    Service service(ServiceOptions{.num_workers = 1, .spool_dir = spool});
+    const auto submission = service.Submit(QuickSpec("torn"));
+    ASSERT_TRUE(submission.accepted);
+    id = submission.id;
+    const auto record = service.Wait(id);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->state, JobState::kDone);
+    live_result = record->result_json;
+  }
+  chaos::Reset();
+
+  const std::string path =
+      spool + "/" + std::to_string(id) + ".result.json";
+  ASSERT_TRUE(std::filesystem::exists(path));
+  ASSERT_EQ(std::filesystem::file_size(path), 10u);  // The torn prefix.
+
+  // A restarted service must refuse the torn file — "no result" beats
+  // a silent wrong answer — while the live registry copy was fine.
+  Service restarted(ServiceOptions{.spool_dir = spool});
+  EXPECT_FALSE(restarted.Result(id).has_value());
+  EXPECT_NE(Field(live_result, "status"), "");
+  std::filesystem::remove_all(spool);
+}
+
+// ---- Wire-level races and chaos -------------------------------------
+
+/// A connected client with its own decoder and a receive timeout so a
+/// regression fails the test instead of hanging it.
+class Client {
+ public:
+  explicit Client(const std::string& unix_path) {
+    std::string error;
+    fd_ = ConnectUnix(unix_path, error);
+    EXPECT_GE(fd_, 0) << error;
+    const timeval tv{.tv_sec = 120, .tv_usec = 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& payload) { return WriteFrame(fd_, payload); }
+
+  std::string Read() {
+    std::string payload;
+    if (ReadFrame(fd_, decoder_, payload, error_) !=
+        FrameDecoder::Next::kFrame) {
+      return "";
+    }
+    return payload;
+  }
+
+  std::string ReadUntil(const std::string& type) {
+    for (int i = 0; i < 100; ++i) {
+      const std::string payload = Read();
+      if (payload.empty()) return "";
+      if (Field(payload, "type") == type) return payload;
+    }
+    return "";
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string error_;
+};
+
+/// Starts a Server on a fresh unix socket and runs its accept loop on
+/// a background thread.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerOptions options, const std::string& tag)
+      : dir_(TempDir(tag)) {
+    if (options.unix_path.empty()) options.unix_path = dir_ + "/sock";
+    unix_path_ = options.unix_path;
+    server_ = std::make_unique<Server>(options);
+    core::DiagnosticList diags;
+    EXPECT_TRUE(server_->Start(diags)) << diags.ToString();
+    thread_ = std::thread([this] { server_->Run(); });
+  }
+
+  ~ServerFixture() {
+    server_->Shutdown();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  Server& server() { return *server_; }
+  const std::string& unix_path() const { return unix_path_; }
+
+ private:
+  std::string dir_;
+  std::string unix_path_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+/// Polls QUERY until job `id` reports `state`; returns the last state.
+std::string PollState(Client& client, const std::string& id,
+                      const std::string& want) {
+  std::string state;
+  for (int i = 0; i < 20'000; ++i) {
+    if (!client.Send("REPRO-SERVE/1 QUERY\nid: " + id + "\n")) break;
+    state = Field(client.Read(), "state");
+    if (state == want || state == "done" || state == "failed" ||
+        state == "cancelled") {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return state;
+}
+
+TEST_F(ServeChaosTest, CancelOverTheWirePreemptsARunningJob) {
+  ServerOptions options;
+  options.service.num_workers = 1;
+  ServerFixture fixture(options, "cancel_wire");
+  Client client(fixture.unix_path());
+  EXPECT_EQ(Field(client.Read(), "type"), "hello");
+
+  ASSERT_TRUE(client.Send(BuildSubmitPayload(LongSpec("wire-cancel"))));
+  const std::string accepted = client.Read();
+  ASSERT_EQ(Field(accepted, "type"), "accepted") << accepted;
+  const std::string id = Field(accepted, "id");
+  ASSERT_EQ(PollState(client, id, "running"), "running");
+
+  // CANCEL of a running job answers with a progress snapshot (not
+  // not_cancellable), and the cancelled result is pushed.
+  ASSERT_TRUE(client.Send("REPRO-SERVE/1 CANCEL\nid: " + id + "\n"));
+  const std::string answer = client.Read();
+  EXPECT_EQ(Field(answer, "type"), "progress") << answer;
+
+  const std::string result = client.ReadUntil("result");
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(Field(result, "id"), id);
+  EXPECT_EQ(Field(result, "status"), "cancelled");
+  EXPECT_EQ(Field(result, "preempted"), "true");
+
+  ASSERT_TRUE(client.Send("REPRO-SERVE/1 STATS\n"));
+  const std::string stats = client.Read();
+  EXPECT_EQ(Field(stats, "type"), "stats");
+  EXPECT_EQ(Field(stats, "cancelled"), "1");
+}
+
+TEST_F(ServeChaosTest, ShutdownDrainRacingAnInFlightCancelStaysClean) {
+  ServerOptions options;
+  options.service.num_workers = 1;
+  ServerFixture fixture(options, "race");
+  Client client(fixture.unix_path());
+  EXPECT_EQ(Field(client.Read(), "type"), "hello");
+
+  ASSERT_TRUE(client.Send(BuildSubmitPayload(LongSpec("race"))));
+  const std::string accepted = client.Read();
+  ASSERT_EQ(Field(accepted, "type"), "accepted") << accepted;
+  const std::string id = Field(accepted, "id");
+  ASSERT_EQ(PollState(client, id, "running"), "running");
+
+  // SIGTERM-style drain and a CANCEL race for the same running job.
+  // Either order must end with a structured result frame, a goodbye,
+  // and a closed stream — never a hang or a dropped job.
+  std::thread drain([&fixture] { fixture.server().Shutdown(); });
+  ASSERT_TRUE(client.Send("REPRO-SERVE/1 CANCEL\nid: " + id + "\n"));
+  bool saw_result = false;
+  bool saw_goodbye = false;
+  std::string result_status;
+  for (int i = 0; i < 100; ++i) {
+    const std::string payload = client.Read();
+    if (payload.empty()) break;  // Stream closed behind the goodbye.
+    const std::string type = Field(payload, "type");
+    if (type == "result" && Field(payload, "id") == id) {
+      saw_result = true;
+      result_status = Field(payload, "status");
+    }
+    if (type == "goodbye") saw_goodbye = true;
+  }
+  drain.join();
+  EXPECT_TRUE(saw_result);
+  EXPECT_TRUE(saw_goodbye);
+  // The cancel either preempted the job or lost the race to the
+  // drain's full run; both are clean terminal answers.
+  EXPECT_TRUE(result_status == "cancelled" || result_status == "ok")
+      << result_status;
+}
+
+TEST_F(ServeChaosTest, InjectedReadStallsLeaveTheProtocolIntact) {
+  RETEST_SKIP_WITHOUT_CHAOS_SITES();
+  // Stall every server-side read poll: requests crawl but still
+  // round-trip in order — latency, never corruption or a hang.
+  ASSERT_TRUE(chaos::LoadSpec("serve.read.stall=always:20"));
+  ServerFixture fixture({}, "stall");
+  Client client(fixture.unix_path());
+  EXPECT_EQ(Field(client.Read(), "type"), "hello");
+  ASSERT_TRUE(client.Send("REPRO-SERVE/1 PING\n"));
+  EXPECT_EQ(Field(client.Read(), "type"), "pong");
+  ASSERT_TRUE(client.Send(BuildSubmitPayload(QuickSpec("stalled"))));
+  EXPECT_EQ(Field(client.Read(), "type"), "accepted");
+  const std::string result = client.ReadUntil("result");
+  EXPECT_EQ(Field(result, "status"), "ok");
+  EXPECT_GE(chaos::Injected("serve.read.stall"), 1);
+}
+
+}  // namespace
+}  // namespace retest::core::server

@@ -286,8 +286,10 @@ TEST(Protocol, ResponseBuildersEmitTheirTypes) {
   EXPECT_NE(BuildError("bad_frame", "x\ny").find("x\\ny"), std::string::npos);
   EXPECT_NE(BuildPong().find("pong"), std::string::npos);
   EXPECT_NE(BuildGoodbye().find("goodbye"), std::string::npos);
-  EXPECT_NE(BuildStats(0, 1, 2, 3).find("\"type\": \"stats\""),
-            std::string::npos);
+  const std::string stats = BuildStats(0, 1, 2, 3, 4, 5);
+  EXPECT_NE(stats.find("\"type\": \"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"shed\": 4"), std::string::npos);
+  EXPECT_NE(stats.find("\"cancelled\": 5"), std::string::npos);
 }
 
 // ---- Service --------------------------------------------------------
