@@ -107,7 +107,20 @@ bool FullMode() {
   return env != nullptr && std::string(env) == "1";
 }
 
-long BudgetMs(long base_ms) { return FullMode() ? base_ms * 10 : base_ms; }
+long BudgetMs(long base_ms) {
+  // REPRO_ATPG_BUDGET_MS pins every driver budget to one absolute
+  // value.  Raising it until the budget never binds makes an ATPG run
+  // fully deterministic (each fault's search is bounded by the
+  // per-fault backtrack/evaluation limits; only the wall-clock cutoff
+  // is load-sensitive) — scripts/sweep_equivalence.sh relies on this
+  // to byte-compare driver outputs across runs.
+  if (const char* env = std::getenv("REPRO_ATPG_BUDGET_MS")) {
+    char* end = nullptr;
+    const long forced = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && forced > 0) return forced;
+  }
+  return FullMode() ? base_ms * 10 : base_ms;
+}
 
 atpg::AtpgOptions Table2AtpgOptions(long budget_ms) {
   atpg::AtpgOptions options;

@@ -75,7 +75,12 @@ std::string CheckpointPathFor(const std::string& circuit_name);
 /// True when REPRO_FULL=1 is set (longer, closer-to-paper budgets).
 bool FullMode();
 
-/// Milliseconds scaled by FullMode (x10).
+/// Milliseconds scaled by FullMode (x10).  The REPRO_ATPG_BUDGET_MS
+/// environment variable, when set to a positive integer, overrides
+/// both with that absolute value — raised far enough that the budget
+/// never binds, an ATPG run becomes fully deterministic (the
+/// per-fault search limits are the only remaining stops), which the
+/// sweep-equivalence gate depends on.
 long BudgetMs(long base_ms);
 
 /// The ATPG configuration used for Table II: deterministic

@@ -290,6 +290,10 @@ class Driver {
       proofs.num_threads = 1;
       proofs.sort_faults = false;
       proofs.lane_words = 1;
+      // Single tiny run: re-analyzing the netlist per candidate would
+      // dwarf the simulation, so the sweep stays off here regardless
+      // of REPRO_SWEEP (results are identical either way).
+      proofs.sweep = analyze::SweepMode::kOff;
       const auto verdict =
           faultsim::SimulateProofs(circuit_, std::span(&fault, 1), candidate,
                                    proofs);
@@ -404,6 +408,8 @@ class Driver {
       if (!targets.empty()) {
         faultsim::ProofsOptions proofs;
         proofs.num_threads = 1;  // workers already saturate the pool
+        proofs.sweep = analyze::SweepMode::kOff;  // per-commit call: the
+        // re-analysis would cost more than it saves (same results).
         const auto sim =
             faultsim::SimulateProofs(circuit_, targets, outcome.test, proofs);
         const long sim_evaluations =

@@ -138,6 +138,15 @@ bool ApplySubmitHeader(std::string_view key, std::string_view value,
     ctx.Int(key, value, 1, 10'000, spec.atpg.justify_max_depth);
   } else if (key == "max-frames") {
     ctx.Int(key, value, 0, 100'000, spec.atpg.max_frames);
+  } else if (key == "sweep") {
+    if (value == "default") {
+      spec.sweep = std::nullopt;
+    } else if (auto mode = analyze::ParseSweepMode(value)) {
+      spec.sweep = *mode;
+    } else {
+      ctx.Error("sweep: expected default, off, on or report, got '" +
+                std::string(value) + "'");
+    }
   } else if (key == "redundancy-check") {
     if (value == "0") {
       spec.atpg.redundancy_check = false;
@@ -335,6 +344,8 @@ std::string BuildSubmitPayload(const JobSpec& spec) {
   out << "justify-max-depth: " << spec.atpg.justify_max_depth << "\n";
   out << "max-frames: " << spec.atpg.max_frames << "\n";
   out << "redundancy-check: " << (spec.atpg.redundancy_check ? 1 : 0) << "\n";
+  out << "sweep: "
+      << (spec.sweep ? analyze::ToString(*spec.sweep) : "default") << "\n";
   out << "\n";
   out << "--- netlist\n" << spec.netlist;
   if (!spec.netlist.empty() && spec.netlist.back() != '\n') out << "\n";

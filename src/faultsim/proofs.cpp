@@ -5,9 +5,11 @@
 #include <numeric>
 #include <optional>
 
+#include "analyze/sweep.h"
 #include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "core/trace.h"
+#include "fault/collapse.h"
 #include "sim/compiled.h"
 #include "sim/levelizer.h"
 #include "sim/parallel.h"
@@ -66,12 +68,11 @@ void RunBatches(const netlist::Circuit& circuit,
                 std::span<const fault::Fault> faults,
                 const sim::InputSequence& sequence,
                 const ProofsOptions& options,
+                const std::shared_ptr<const sim::CompiledNetlist>& compiled,
                 const sim::Trace* trace,
                 const std::vector<std::vector<V3>>& good_outputs,
                 const std::vector<size_t>& order, ProofsResult& result) {
   constexpr int kLanes = Vec3<W>::kLanes;
-  const std::shared_ptr<const sim::CompiledNetlist> compiled =
-      sim::Compile(circuit);
   std::optional<sim::WideTrace<W>> wide_trace;
   if (options.cone_restricted) wide_trace.emplace(*trace);
 
@@ -203,17 +204,57 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
                      "faults handed to SimulateProofs",
                      static_cast<long>(faults.size()));
 
+  // Structural sweep (docs/SWEEP.md).  `report` measures and changes
+  // nothing; `on` applies only the faulty-machine-sound pieces: faults
+  // proven undetected statically keep their default Detection (the
+  // same verdict simulation would assign), the good trace runs on the
+  // reduced circuit, and the compiled image drops dead nodes.  Merged
+  // evaluation of FAULTY machines is never attempted — a fault breaks
+  // the structural-equivalence premise.
+  const analyze::SweepMode sweep_mode =
+      analyze::ResolveSweepMode(options.sweep);
+  std::optional<analyze::SweptNetlist> swept;
+  std::vector<fault::Fault> kept_faults;
+  std::vector<size_t> kept_positions;
+  if (sweep_mode == analyze::SweepMode::kReport) {
+    analyze::AnalyzeSweep(circuit);  // sweep.* metrics only
+  } else if (sweep_mode == analyze::SweepMode::kOn) {
+    swept.emplace(analyze::BuildSweptNetlist(circuit));
+    const fault::SweepResolution resolution =
+        fault::ResolveFaultsWithSweep(circuit, swept->report, faults);
+    kept_faults.reserve(faults.size());
+    kept_positions.reserve(faults.size());
+    for (size_t i = 0; i < faults.size(); ++i) {
+      if (resolution.statically_undetected[i] != 0) continue;
+      kept_faults.push_back(faults[i]);
+      kept_positions.push_back(i);
+    }
+    RETEST_COUNTER_ADD("sweep.faults_static_resolved", "faults", "sweep",
+                       "faults proven undetected without simulation",
+                       static_cast<long>(faults.size() - kept_faults.size()));
+  }
+  const std::span<const fault::Fault> active =
+      swept ? std::span<const fault::Fault>(kept_faults) : faults;
+  if (active.empty()) return result;  // everything resolved statically
+
   // Good-machine responses once, shared read-only by every batch.  The
   // cone-restricted mode needs the full per-node trace (non-cone values
   // are seeded from it); full evaluation only needs the PO responses.
+  // Under sweep the trace is simulated on the reduced circuit and
+  // expanded through the node map — identical values for every live
+  // node, and PO responses identical outright.
   std::optional<sim::Trace> trace;
   std::vector<std::vector<V3>> good_po;
   {
     RETEST_TRACE_SPAN(good_span, "faultsim.good_trace");
     if (options.cone_restricted) {
-      trace.emplace(circuit, sequence);
+      if (swept) {
+        trace.emplace(circuit, sequence, *swept);
+      } else {
+        trace.emplace(circuit, sequence);
+      }
     } else {
-      sim::Simulator good(circuit);
+      sim::Simulator good(swept ? swept->circuit : circuit);
       good.Reset();
       good_po = good.Run(sequence);
     }
@@ -222,21 +263,40 @@ ProofsResult SimulateProofs(const netlist::Circuit& circuit,
       options.cone_restricted ? trace->outputs() : good_po;
 
   const std::vector<size_t> order =
-      BatchOrder(circuit, faults, options.sort_faults);
+      BatchOrder(circuit, active, options.sort_faults);
+  const std::shared_ptr<const sim::CompiledNetlist> compiled =
+      sim::Compile(circuit, swept ? &swept->report : nullptr);
 
+  // Under sweep the batch loop runs over the kept (unresolved) faults;
+  // its detections are scattered back to input positions afterwards.
+  ProofsResult core;
+  ProofsResult* sink = &result;
+  if (swept) {
+    core.detections.assign(active.size(), {});
+    sink = &core;
+  }
   switch (sim::ResolveLaneWords(options.lane_words)) {
     case 8:
-      RunBatches<8>(circuit, faults, sequence, options,
-                    trace ? &*trace : nullptr, good_outputs, order, result);
+      RunBatches<8>(circuit, active, sequence, options, compiled,
+                    trace ? &*trace : nullptr, good_outputs, order, *sink);
       break;
     case 4:
-      RunBatches<4>(circuit, faults, sequence, options,
-                    trace ? &*trace : nullptr, good_outputs, order, result);
+      RunBatches<4>(circuit, active, sequence, options, compiled,
+                    trace ? &*trace : nullptr, good_outputs, order, *sink);
       break;
     default:
-      RunBatches<1>(circuit, faults, sequence, options,
-                    trace ? &*trace : nullptr, good_outputs, order, result);
+      RunBatches<1>(circuit, active, sequence, options, compiled,
+                    trace ? &*trace : nullptr, good_outputs, order, *sink);
       break;
+  }
+  if (swept) {
+    for (size_t i = 0; i < kept_positions.size(); ++i) {
+      result.detections[kept_positions[i]] = core.detections[i];
+    }
+    result.frames_evaluated = core.frames_evaluated;
+    result.gate_evals = core.gate_evals;
+    result.threads_used = core.threads_used;
+    result.lanes = core.lanes;
   }
   RETEST_COUNTER_ADD("faultsim.gate_evals", "node-evals", "faultsim",
                      "lane-wide node evaluations performed",

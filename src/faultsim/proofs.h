@@ -31,17 +31,21 @@
 //    all per-batch scratch is worker-owned and merged by batch index.
 //  - Detections are a pure function of (circuit, faults, sequence,
 //    drop_detected/cone_restricted/sort_faults): bit-identical at any
-//    num_threads AND any lane width.  frames_evaluated and gate_evals
-//    are additionally invariant across thread counts at a fixed lane
-//    width (wider lanes mean fewer, heavier evaluations).  Tier-1
-//    tests and the bench_faultsim_perf exit code enforce this.
+//    num_threads AND any lane width, and — by construction, see
+//    docs/SWEEP.md — at any sweep mode.  frames_evaluated and
+//    gate_evals are additionally invariant across thread counts at a
+//    fixed lane width and sweep mode (wider lanes mean fewer, heavier
+//    evaluations; sweep=on means fewer faults and smaller cones).
+//    Tier-1 tests and the bench_faultsim_perf exit code enforce this.
 //  - Instrumentation (faultsim.* metrics, faultsim.* trace spans; see
 //    docs/METRICS.md) is observational only and never alters results.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "analyze/sweep.h"
 #include "fault/fault.h"
 #include "faultsim/serial.h"
 #include "sim/simulator.h"
@@ -68,6 +72,17 @@ struct ProofsOptions {
   /// with `auto` picking the widest kernel the CPU runs natively.
   /// Width never changes detections, only batching and work counters.
   int lane_words = 0;
+  /// Structural sweep (analyze/sweep.h).  nullopt defers to the
+  /// REPRO_SWEEP env var (default off).  `on` computes the sweep once
+  /// per run and uses it for the three transformations that are sound
+  /// for faulty machines — static fault resolution (dead-site and
+  /// const-redundant faults proven undetected without simulation), a
+  /// good-machine trace simulated on the reduced circuit, and dead-node
+  /// pruning of the compiled image — never for merged faulty
+  /// evaluation, so detections stay bit-identical to `off` while
+  /// frames_evaluated / gate_evals may shrink.  `report` analyzes and
+  /// records sweep.* metrics, then behaves exactly like `off`.
+  std::optional<analyze::SweepMode> sweep;
 };
 
 /// Aggregate result of a fault-simulation run.

@@ -1,0 +1,311 @@
+// Tests for the structural sweep pass (analyze/sweep.h) and its
+// consumers: the determinism gate on randomized circuits, detection
+// bit-identity of the swept fault-simulation path, the static fault
+// resolution rules, and the collapse representative ordering contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+
+#include "analyze/sweep.h"
+#include "fault/collapse.h"
+#include "fault/fault.h"
+#include "faultsim/proofs.h"
+#include "faultsim/serial.h"
+#include "netlist/builder.h"
+#include "sim/simulator.h"
+#include "tests/random_circuits.h"
+
+namespace retest::analyze {
+namespace {
+
+using netlist::Builder;
+using netlist::Circuit;
+using netlist::kNoNode;
+using netlist::NodeId;
+using netlist::NodeKind;
+using sim::InputSequence;
+using sim::V3;
+
+InputSequence RandomSequence(retest::testing::TestRng& rng, int width,
+                             int length, bool with_x = false) {
+  InputSequence sequence(static_cast<size_t>(length));
+  for (auto& vector : sequence) {
+    vector.resize(static_cast<size_t>(width));
+    for (V3& v : vector) {
+      if (with_x && rng.Below(4) == 0) {
+        v = V3::kX;
+      } else {
+        v = rng.Bit() ? V3::k1 : V3::k0;
+      }
+    }
+  }
+  return sequence;
+}
+
+/// Node-by-node structural equality (kinds, names, fanins) — the
+/// strong form of circuit identity the idempotence contract promises.
+void ExpectSameStructure(const Circuit& a, const Circuit& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId id = 0; id < a.size(); ++id) {
+    const auto& na = a.node(id);
+    const auto& nb = b.node(id);
+    EXPECT_EQ(na.kind, nb.kind) << "node " << id;
+    EXPECT_EQ(na.name, nb.name) << "node " << id;
+    EXPECT_EQ(na.fanin, nb.fanin) << "node " << id;
+  }
+}
+
+TEST(Sweep, ModesParseAndRoundTrip) {
+  EXPECT_EQ(ParseSweepMode("off"), SweepMode::kOff);
+  EXPECT_EQ(ParseSweepMode("on"), SweepMode::kOn);
+  EXPECT_EQ(ParseSweepMode("report"), SweepMode::kReport);
+  EXPECT_FALSE(ParseSweepMode("ON").has_value());
+  EXPECT_FALSE(ParseSweepMode("").has_value());
+  for (const SweepMode mode :
+       {SweepMode::kOff, SweepMode::kOn, SweepMode::kReport}) {
+    EXPECT_EQ(ParseSweepMode(ToString(mode)), mode);
+    EXPECT_EQ(ResolveSweepMode(mode), mode);
+  }
+}
+
+TEST(Sweep, RandomizedCircuitsVerifyAndStayTotal) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    retest::testing::RandomCircuitOptions options;
+    options.num_inputs = 3 + static_cast<int>(seed % 3);
+    options.num_dffs = 2 + static_cast<int>(seed % 4);
+    options.num_gates = 12 + static_cast<int>(seed % 9);
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed, options);
+    const SweptNetlist swept = BuildSweptNetlist(circuit);
+    const SweepVerdict verdict = VerifySweep(circuit, swept);
+    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.detail;
+    // Node-map totality: unmapped only when the value is still known.
+    for (NodeId id = 0; id < circuit.size(); ++id) {
+      if (swept.node_map[static_cast<size_t>(id)] == kNoNode) {
+        EXPECT_TRUE(swept.report.IsDead(id) || swept.report.IsConst(id))
+            << "seed " << seed << " node " << id;
+      }
+    }
+  }
+}
+
+TEST(Sweep, SweptTraceMatchesPlainTraceOnLiveNodes) {
+  retest::testing::TestRng rng{77};
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const SweptNetlist swept = BuildSweptNetlist(circuit);
+    const InputSequence sequence =
+        RandomSequence(rng, circuit.num_inputs(), 16, /*with_x=*/true);
+    const sim::Trace plain(circuit, sequence);
+    const sim::Trace accelerated(circuit, sequence, swept);
+    ASSERT_EQ(plain.outputs(), accelerated.outputs()) << "seed " << seed;
+    for (size_t t = 0; t < sequence.size(); ++t) {
+      for (NodeId id = 0; id < circuit.size(); ++id) {
+        if (swept.report.IsDead(id)) continue;  // dead values stay X
+        EXPECT_EQ(plain.value(t, id), accelerated.value(t, id))
+            << "seed " << seed << " frame " << t << " node " << id;
+      }
+    }
+  }
+}
+
+TEST(Sweep, FaultSimDetectionsBitIdenticalAcrossModesAndThreads) {
+  retest::testing::TestRng rng{4242};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const auto collapsed = fault::Collapse(circuit);
+    const auto& faults = collapsed.representatives;
+    const InputSequence sequence =
+        RandomSequence(rng, circuit.num_inputs(), 24);
+
+    faultsim::ProofsOptions off;
+    off.num_threads = 1;
+    off.sweep = SweepMode::kOff;
+    faultsim::ProofsOptions on1 = off;
+    on1.sweep = SweepMode::kOn;
+    faultsim::ProofsOptions onN = on1;
+    onN.num_threads = static_cast<int>(
+        std::max(2u, std::thread::hardware_concurrency()));
+    faultsim::ProofsOptions report = off;
+    report.sweep = SweepMode::kReport;
+
+    const auto serial = faultsim::SimulateSerial(circuit, faults, sequence);
+    const auto r_off = faultsim::SimulateProofs(circuit, faults, sequence, off);
+    const auto r_on1 = faultsim::SimulateProofs(circuit, faults, sequence, on1);
+    const auto r_onN = faultsim::SimulateProofs(circuit, faults, sequence, onN);
+    const auto r_rep =
+        faultsim::SimulateProofs(circuit, faults, sequence, report);
+    for (size_t i = 0; i < faults.size(); ++i) {
+      EXPECT_EQ(serial[i], r_off.detections[i]) << "seed " << seed;
+      EXPECT_EQ(r_off.detections[i], r_on1.detections[i])
+          << "seed " << seed << " fault " << i << " ("
+          << ToString(circuit, faults[i]) << ")";
+      EXPECT_EQ(r_off.detections[i], r_onN.detections[i])
+          << "seed " << seed << " fault " << i;
+      EXPECT_EQ(r_off.detections[i], r_rep.detections[i])
+          << "seed " << seed << " fault " << i;
+    }
+    // The swept run never does MORE work than the unswept one.
+    EXPECT_LE(r_on1.gate_evals, r_off.gate_evals) << "seed " << seed;
+  }
+}
+
+TEST(Sweep, FullEvaluationModeAlsoBitIdentical) {
+  retest::testing::TestRng rng{515151};
+  for (std::uint64_t seed = 3; seed <= 6; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const auto collapsed = fault::Collapse(circuit);
+    const InputSequence sequence =
+        RandomSequence(rng, circuit.num_inputs(), 20);
+    faultsim::ProofsOptions off;
+    off.num_threads = 1;
+    off.cone_restricted = false;
+    off.sweep = SweepMode::kOff;
+    faultsim::ProofsOptions on = off;
+    on.sweep = SweepMode::kOn;
+    const auto r_off = faultsim::SimulateProofs(
+        circuit, collapsed.representatives, sequence, off);
+    const auto r_on = faultsim::SimulateProofs(
+        circuit, collapsed.representatives, sequence, on);
+    EXPECT_EQ(r_off.detections, r_on.detections) << "seed " << seed;
+  }
+}
+
+TEST(Sweep, ConstantsAtPrimaryOutputs) {
+  // POs fed by a tied source, a gate proven constant, and live logic
+  // mixing a constant in — the constants must survive the sweep with
+  // identical PO behaviour, X-laden stimuli included.
+  Circuit circuit("const_po");
+  const NodeId x = circuit.Add(NodeKind::kInput, "x");
+  const NodeId one = circuit.Add(NodeKind::kConst1, "one");
+  const NodeId zero = circuit.Add(NodeKind::kConst0, "zero");
+  const NodeId dead_and = circuit.Add(NodeKind::kAnd, "g_and0", {x, zero});
+  const NodeId or_one = circuit.Add(NodeKind::kOr, "g_or1", {x, one});
+  const NodeId keep = circuit.Add(NodeKind::kAnd, "g_keep", {x, one});
+  const NodeId xor_one = circuit.Add(NodeKind::kXor, "g_x1", {x, one});
+  circuit.Add(NodeKind::kOutput, "z_const0", {dead_and});
+  circuit.Add(NodeKind::kOutput, "z_const1", {or_one});
+  circuit.Add(NodeKind::kOutput, "z_live", {keep});
+  circuit.Add(NodeKind::kOutput, "z_inv", {xor_one});
+  circuit.Add(NodeKind::kOutput, "z_tied", {one});
+
+  const SweptNetlist swept = BuildSweptNetlist(circuit);
+  const SweepVerdict verdict = VerifySweep(circuit, swept);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+  EXPECT_TRUE(swept.report.IsConst(dead_and));
+  EXPECT_EQ(swept.report.const_of[static_cast<size_t>(dead_and)], V3::k0);
+  EXPECT_TRUE(swept.report.IsConst(or_one));
+  EXPECT_EQ(swept.report.const_of[static_cast<size_t>(or_one)], V3::k1);
+  // AND(x, 1) aliases to x; XOR(x, 1) is live (it inverts), not const.
+  EXPECT_EQ(swept.report.class_of[static_cast<size_t>(keep)],
+            swept.report.class_of[static_cast<size_t>(x)]);
+  EXPECT_FALSE(swept.report.IsConst(xor_one));
+  EXPECT_EQ(swept.report.constant_gates, 2);
+}
+
+TEST(Sweep, AllDeadConeIncludingRegisterLoop) {
+  // A register loop plus its cone feed nothing observable; only the
+  // buffer path x -> z is live.
+  Builder builder("deadcone");
+  builder.Input("x");
+  builder.Dff("q");
+  builder.Not("g_inv", "q");
+  builder.And("g_mix", {"g_inv", "x"});
+  builder.SetDffInput("q", "g_mix");
+  builder.Buf("g_live", "x");
+  builder.Output("z", "g_live");
+  const Circuit circuit = builder.Build();
+
+  const SweptNetlist swept = BuildSweptNetlist(circuit);
+  const SweepVerdict verdict = VerifySweep(circuit, swept);
+  EXPECT_TRUE(verdict.ok) << verdict.detail;
+  EXPECT_EQ(swept.report.dead_nodes, 3);  // q, g_inv, g_mix
+  for (const char* name : {"q", "g_inv", "g_mix"}) {
+    const NodeId id = circuit.Find(name);
+    ASSERT_NE(id, kNoNode) << name;
+    EXPECT_TRUE(swept.report.IsDead(id)) << name;
+    EXPECT_EQ(swept.node_map[static_cast<size_t>(id)], kNoNode) << name;
+  }
+  EXPECT_FALSE(swept.report.IsDead(circuit.Find("g_live")));
+  EXPECT_EQ(swept.circuit.num_dffs(), 0);
+
+  // Every fault confined to the dead cone resolves statically, and the
+  // verdicts match simulation exactly.
+  const auto faults = fault::EnumerateFaults(circuit);
+  const auto resolution =
+      fault::ResolveFaultsWithSweep(circuit, swept.report, faults);
+  EXPECT_GT(resolution.dead_site, 0);
+  retest::testing::TestRng rng{9};
+  const InputSequence sequence =
+      RandomSequence(rng, circuit.num_inputs(), 12);
+  const auto serial = faultsim::SimulateSerial(circuit, faults, sequence);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    if (resolution.statically_undetected[i] != 0) {
+      EXPECT_FALSE(serial[i].detected)
+          << ToString(circuit, faults[i]) << " resolved but detected";
+    }
+  }
+  faultsim::ProofsOptions on;
+  on.num_threads = 1;
+  on.sweep = SweepMode::kOn;
+  const auto swept_run = faultsim::SimulateProofs(circuit, faults, sequence, on);
+  for (size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(serial[i], swept_run.detections[i]) << i;
+  }
+}
+
+TEST(Sweep, IdempotentOnRandomizedCircuits) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const SweptNetlist once = BuildSweptNetlist(circuit);
+    const SweptNetlist twice = BuildSweptNetlist(once.circuit);
+    // The second sweep finds nothing left to do...
+    EXPECT_EQ(twice.report.merged_gates, 0) << "seed " << seed;
+    EXPECT_EQ(twice.report.constant_gates, 0) << "seed " << seed;
+    EXPECT_EQ(twice.report.dead_nodes, 0) << "seed " << seed;
+    // ...and reproduces the swept circuit node for node.
+    ExpectSameStructure(once.circuit, twice.circuit);
+  }
+}
+
+TEST(Sweep, ReportCountsAreConsistent) {
+  for (std::uint64_t seed = 2; seed <= 8; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const SweepReport report = AnalyzeSweep(circuit);
+    ASSERT_EQ(report.class_of.size(), static_cast<size_t>(circuit.size()));
+    int reps = 0;
+    for (NodeId id = 0; id < circuit.size(); ++id) {
+      const NodeId rep = report.class_of[static_cast<size_t>(id)];
+      // Representatives are fixpoints of class_of.
+      EXPECT_EQ(report.class_of[static_cast<size_t>(rep)], rep);
+      if (rep == id) ++reps;
+      // Class members agree on their constant value.
+      EXPECT_EQ(report.const_of[static_cast<size_t>(id)],
+                report.const_of[static_cast<size_t>(rep)]);
+    }
+    EXPECT_EQ(reps, report.num_classes);
+    EXPECT_GE(report.iterations, 1);
+  }
+}
+
+TEST(CollapseDeterminism, RepresentativesSortedByFaultOrder) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Circuit circuit = retest::testing::MakeRandomCircuit(seed);
+    const auto collapsed = fault::Collapse(circuit);
+    EXPECT_TRUE(std::is_sorted(collapsed.representatives.begin(),
+                               collapsed.representatives.end()))
+        << "seed " << seed;
+    // Every representative is its own class root in `all`.
+    for (const auto& rep : collapsed.representatives) {
+      const auto it = std::find(collapsed.all.begin(), collapsed.all.end(), rep);
+      ASSERT_NE(it, collapsed.all.end());
+      const auto index =
+          static_cast<size_t>(std::distance(collapsed.all.begin(), it));
+      EXPECT_EQ(collapsed.class_of[index], static_cast<int>(index));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retest::analyze
